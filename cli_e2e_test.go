@@ -1,0 +1,145 @@
+package topobarrier_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd executes one of the repository's commands via the go tool.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives profilecluster → predictbarrier → tunebarrier →
+// runbarrier → genbarrier → searchbarrier end to end through their public
+// command-line interfaces.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the command suite")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "prof.json")
+	schedule := filepath.Join(dir, "sched.json")
+	genfile := filepath.Join(dir, "barrier.go")
+
+	out := runCmd(t, "./cmd/profilecluster", "-cluster", "quad", "-p", "22", "-o", prof)
+	if !strings.Contains(out, "wrote "+prof) {
+		t.Fatalf("profilecluster output: %s", out)
+	}
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runCmd(t, "./cmd/predictbarrier", "-profile", prof)
+	for _, want := range []string{"linear", "dissemination", "tree", "predicted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("predictbarrier output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, "./cmd/tunebarrier", "-profile", prof, "-o", schedule, "-maxdepth", "1")
+	if !strings.Contains(out, "root") || !strings.Contains(out, "wrote "+schedule) {
+		t.Fatalf("tunebarrier output:\n%s", out)
+	}
+
+	out = runCmd(t, "./cmd/runbarrier", "-cluster", "quad", "-p", "22", "-alg", schedule, "-iters", "10")
+	if !strings.Contains(out, "µs/barrier") {
+		t.Fatalf("runbarrier output:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/runbarrier", "-cluster", "quad", "-p", "22", "-alg", "mpi", "-iters", "10")
+	if !strings.Contains(out, "MPI barrier") {
+		t.Fatalf("runbarrier mpi output:\n%s", out)
+	}
+
+	runCmd(t, "./cmd/genbarrier", "-schedule", schedule, "-o", genfile, "-pkg", "main", "-func", "B")
+	src, err := os.ReadFile(genfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func B(c *topobarrier.Comm") {
+		t.Fatalf("genbarrier output:\n%s", src)
+	}
+
+	out = runCmd(t, "./cmd/searchbarrier", "-profile", prof, "-seed-alg", "tree", "-steps", "300", "-restarts", "1")
+	if !strings.Contains(out, "barrier verified: true") {
+		t.Fatalf("searchbarrier output:\n%s", out)
+	}
+}
+
+// TestCLIExperimentsSubset regenerates two cheap figures through the
+// experiments command and checks the CSV/text outputs land on disk.
+func TestCLIExperimentsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the experiments command")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	out := runCmd(t, "./cmd/experiments", "-fig", "9,10", "-out", dir)
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "Figure 10") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+	for _, f := range []string{"figure9.txt", "figure10.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}
+
+// TestCLIBarrierLib drives the library command: tune (miss), tune (hit),
+// check, list.
+func TestCLIBarrierLib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the barrierlib command")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	out := runCmd(t, "./cmd/barrierlib", "tune", "-dir", dir, "-cluster", "quad", "-p", "12")
+	if !strings.Contains(out, "tuned now") {
+		t.Fatalf("first tune output: %s", out)
+	}
+	out = runCmd(t, "./cmd/barrierlib", "tune", "-dir", dir, "-cluster", "quad", "-p", "12")
+	if !strings.Contains(out, "loaded from library") {
+		t.Fatalf("second tune output: %s", out)
+	}
+	out = runCmd(t, "./cmd/barrierlib", "check", "-dir", dir, "-cluster", "quad", "-p", "12")
+	if !strings.Contains(out, "synchronization verified") {
+		t.Fatalf("check output: %s", out)
+	}
+	out = runCmd(t, "./cmd/barrierlib", "list", "-dir", dir)
+	if !strings.Contains(out, "P=12") {
+		t.Fatalf("list output: %s", out)
+	}
+}
+
+// TestCLITraceBarrier drives the trace command.
+func TestCLITraceBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the tracebarrier command")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	out := runCmd(t, "./cmd/tracebarrier", "-p", "8", "-alg", "dissemination", "-width", "60")
+	for _, want := range []string{"messages", "critical path", "slowest links"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tracebarrier output missing %q:\n%s", want, out)
+		}
+	}
+}

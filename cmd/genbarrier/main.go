@@ -1,0 +1,55 @@
+// Command genbarrier emits hard-coded Go source for a barrier schedule — the
+// paper's code generator (§VII.C), which turns the discovered matrix
+// sequence into a specialised library function with no matrix scanning and
+// no no-op stages.
+//
+// Usage:
+//
+//	genbarrier -schedule schedule.json [-pkg NAME] [-func NAME] [-o barrier.go]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"topobarrier/internal/codegen"
+	"topobarrier/internal/sched"
+)
+
+func main() {
+	var (
+		schedPath = flag.String("schedule", "schedule.json", "schedule file written by tunebarrier")
+		pkg       = flag.String("pkg", "barrier", "package name of the generated file")
+		fn        = flag.String("func", "", "function name (default derived from the schedule name)")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*schedPath)
+	if err != nil {
+		fatal(err)
+	}
+	var s sched.Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", *schedPath, err))
+	}
+	src, err := codegen.Generate(&s, codegen.Options{Package: *pkg, FuncName: *fn})
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(string(src))
+		return
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbarrier:", err)
+	os.Exit(1)
+}

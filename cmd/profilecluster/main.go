@@ -1,0 +1,107 @@
+// Command profilecluster collects the topological profile of a simulated
+// cluster — the first half of the paper's method (§III, Figure 1) — and
+// stores it on disk for later prediction and tuning, decoupled from the
+// machine.
+//
+// Usage:
+//
+//	profilecluster -cluster quad|hex|single -p N [-placement round-robin|block]
+//	               [-paper] [-full] [-seed N] [-o profile.json] [-heatmap]
+//
+// By default the light-weight protocol with structural replication (§IV.B)
+// is used; -full measures every pair, -paper selects the paper's exact
+// protocol (sizes 2^0..2^20, batches 1..32, 25 repetitions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/topo"
+)
+
+func main() {
+	var (
+		cluster   = flag.String("cluster", "quad", "machine: quad, hex, or single (one 2x4 node)")
+		p         = flag.Int("p", 0, "number of ranks (default: all cores)")
+		placement = flag.String("placement", "round-robin", "rank placement: round-robin or block")
+		paper     = flag.Bool("paper", false, "use the paper's full §IV.A protocol")
+		full      = flag.Bool("full", false, "measure every pair (disable §IV.B structural replication)")
+		seed      = flag.Uint64("seed", 1, "fabric noise seed")
+		out       = flag.String("o", "profile.json", "output path")
+		heat      = flag.Bool("heatmap", false, "print O and L heat maps")
+	)
+	flag.Parse()
+
+	spec, err := specFor(*cluster)
+	if err != nil {
+		fatal(err)
+	}
+	if *p == 0 {
+		*p = spec.TotalCores()
+	}
+	pl, err := placementFor(*placement)
+	if err != nil {
+		fatal(err)
+	}
+	fab, err := fabric.New(spec, pl, *p, fabric.GigEParams(*seed))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := probe.Default()
+	if *paper {
+		cfg = probe.Paper()
+	}
+	cfg.Replicate = !*full
+
+	fmt.Fprintf(os.Stderr, "profiling %s, %d ranks, %s placement (replicate=%v)...\n",
+		spec.Name, *p, pl.Name(), cfg.Replicate)
+	pf, err := probe.Measure(mpi.NewWorld(fab), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	pf.Platform = fmt.Sprintf("%s, %s placement, seed %d", spec.Name, pl.Name(), *seed)
+	if err := pf.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (P=%d, diameter %.1fµs)\n", *out, pf.P, pf.Diameter()*1e6)
+	if *heat {
+		fmt.Println(profile.HeatMap(pf.O, "O matrix [seconds]"))
+		fmt.Println(profile.HeatMap(pf.L, "L matrix [seconds]"))
+	}
+}
+
+func specFor(name string) (topo.Spec, error) {
+	switch name {
+	case "quad":
+		return topo.QuadCluster(), nil
+	case "hex":
+		return topo.HexCluster(), nil
+	case "single":
+		return topo.SingleNode(2, 4, 2), nil
+	default:
+		return topo.Spec{}, fmt.Errorf("unknown cluster %q", name)
+	}
+}
+
+func placementFor(name string) (topo.Placement, error) {
+	switch name {
+	case "round-robin":
+		return topo.RoundRobin{}, nil
+	case "block":
+		return topo.Block{}, nil
+	default:
+		return nil, fmt.Errorf("unknown placement %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profilecluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command runbarrier measures barrier implementations on a simulated
+// cluster: the schedule-driven classic algorithms, the hard-coded baselines
+// (including the MPI_Barrier stand-in), or a schedule stored as JSON by
+// tunebarrier. It also runs the paper's delay-injection synchronization
+// validation (§VI) before timing.
+//
+// Usage:
+//
+//	runbarrier -cluster quad|hex -p N [-placement round-robin|block]
+//	           [-alg tree|linear|dissemination|mpi|rd|FILE.json]
+//	           [-iters N] [-warmup N] [-seed N] [-congestion] [-novalidate]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topobarrier/internal/baseline"
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/topo"
+)
+
+func main() {
+	var (
+		cluster    = flag.String("cluster", "quad", "machine: quad or hex")
+		p          = flag.Int("p", 16, "number of ranks")
+		placement  = flag.String("placement", "round-robin", "rank placement: round-robin or block")
+		alg        = flag.String("alg", "mpi", "barrier: tree, linear, dissemination, mpi, rd, or a schedule JSON file")
+		iters      = flag.Int("iters", 25, "timed iterations")
+		warmup     = flag.Int("warmup", 5, "warmup iterations")
+		seed       = flag.Uint64("seed", 1, "fabric noise seed")
+		congestion = flag.Bool("congestion", false, "enable NIC serialisation")
+		novalidate = flag.Bool("novalidate", false, "skip the delay-injection synchronization check")
+	)
+	flag.Parse()
+
+	var spec topo.Spec
+	switch *cluster {
+	case "quad":
+		spec = topo.QuadCluster()
+	case "hex":
+		spec = topo.HexCluster()
+	default:
+		fatal(fmt.Errorf("unknown cluster %q", *cluster))
+	}
+	var pl topo.Placement
+	switch *placement {
+	case "round-robin":
+		pl = topo.RoundRobin{}
+	case "block":
+		pl = topo.Block{}
+	default:
+		fatal(fmt.Errorf("unknown placement %q", *placement))
+	}
+
+	fab, err := fabric.New(spec, pl, *p, fabric.GigEParams(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	var opts []mpi.Option
+	if *congestion {
+		opts = append(opts, mpi.WithCongestion())
+	}
+	world := mpi.NewWorld(fab, opts...)
+
+	name, fn, err := resolve(*alg, *p)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*novalidate {
+		// Delay a few spread-out ranks rather than all P, keeping validation
+		// quick for large jobs.
+		delayed := []int{0, *p / 2, *p - 1}
+		if err := run.Validate(world, fn, 0.5, delayed); err != nil {
+			fatal(fmt.Errorf("synchronization validation failed: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "synchronization validated (ranks %v delayed)\n", delayed)
+	}
+	m, err := run.Measure(world, fn, *warmup, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s, P=%d (%s): %.1fµs/barrier (%d iters, %d warmup)\n",
+		name, spec.Name, *p, pl.Name(), m.Mean*1e6, m.Iters, m.Warmup)
+}
+
+// resolve maps an -alg value to an executable barrier.
+func resolve(alg string, p int) (string, run.Func, error) {
+	switch alg {
+	case "mpi":
+		return "MPI barrier (binomial tree)", baseline.Tree, nil
+	case "rd":
+		return "recursive doubling (hard-coded)", baseline.RecursiveDoubling, nil
+	case "tree":
+		return "tree (schedule)", run.ScheduleFunc(sched.Tree(p)), nil
+	case "linear":
+		return "linear (schedule)", run.ScheduleFunc(sched.Linear(p)), nil
+	case "dissemination":
+		return "dissemination (schedule)", run.ScheduleFunc(sched.Dissemination(p)), nil
+	}
+	if strings.HasSuffix(alg, ".json") {
+		data, err := os.ReadFile(alg)
+		if err != nil {
+			return "", nil, err
+		}
+		var s sched.Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return "", nil, fmt.Errorf("decoding %s: %w", alg, err)
+		}
+		if s.P != p {
+			return "", nil, fmt.Errorf("schedule %q is for %d ranks, job has %d", s.Name, s.P, p)
+		}
+		plan, err := run.NewPlan(&s)
+		if err != nil {
+			return "", nil, err
+		}
+		return s.Name + " (compiled plan)", plan.Func(), nil
+	}
+	return "", nil, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runbarrier:", err)
+	os.Exit(1)
+}

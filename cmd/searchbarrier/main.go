@@ -1,0 +1,105 @@
+// Command searchbarrier explores the admissible schedule space beyond the
+// greedy composition (§VII.B / §VIII future work): exhaustively for tiny
+// jobs, or by deterministic local search seeded with the tuned hybrid or a
+// classic algorithm.
+//
+// Usage:
+//
+//	searchbarrier -profile profile.json [-seed-alg hybrid|tree|dissemination|linear]
+//	              [-steps N] [-restarts N] [-rngseed N] [-o schedule.json]
+//	searchbarrier -profile tiny.json -exhaustive [-stages N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/search"
+)
+
+func main() {
+	var (
+		profPath   = flag.String("profile", "profile.json", "profile file written by profilecluster")
+		seedAlg    = flag.String("seed-alg", "hybrid", "starting schedule: hybrid, tree, dissemination, linear")
+		steps      = flag.Int("steps", 4000, "mutation attempts per restart")
+		restarts   = flag.Int("restarts", 3, "independent restarts")
+		rngseed    = flag.Uint64("rngseed", 1, "search randomness seed")
+		exhaustive = flag.Bool("exhaustive", false, "enumerate the full space (P ≤ 3)")
+		stages     = flag.Int("stages", 2, "stage budget for exhaustive search")
+		out        = flag.String("o", "", "write the best schedule as JSON")
+	)
+	flag.Parse()
+
+	pf, err := profile.Load(*profPath)
+	if err != nil {
+		fatal(err)
+	}
+	pd := predict.New(pf)
+
+	var res *search.Result
+	if *exhaustive {
+		res, err = search.Exhaustive(pd, *stages, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exhaustive optimum over %d candidates: %.1fµs\n", res.Examined, res.Cost*1e6)
+	} else {
+		seed, err := seedSchedule(pf, *seedAlg)
+		if err != nil {
+			fatal(err)
+		}
+		before := pd.Cost(seed)
+		res, err = search.Anneal(pd, seed, search.AnnealOptions{
+			Seed: *rngseed, Steps: *steps, Restarts: *restarts,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seed %s: predicted %.1fµs\n", seed.Name, before*1e6)
+		fmt.Printf("searched %d candidates: predicted %.1fµs (%.1f%% better)\n",
+			res.Examined, res.Cost*1e6, 100*(before-res.Cost)/before)
+	}
+	fmt.Printf("result: %d stages, %d signals, barrier verified: %v\n",
+		res.Schedule.NumStages(), res.Schedule.SignalCount(), res.Schedule.IsBarrier())
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res.Schedule, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func seedSchedule(pf *profile.Profile, alg string) (*sched.Schedule, error) {
+	switch alg {
+	case "hybrid":
+		tuned, err := core.Tune(pf, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return tuned.Schedule(), nil
+	case "tree":
+		return sched.Tree(pf.P), nil
+	case "dissemination":
+		return sched.Dissemination(pf.P), nil
+	case "linear":
+		return sched.Linear(pf.P), nil
+	default:
+		return nil, fmt.Errorf("unknown seed algorithm %q", alg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "searchbarrier:", err)
+	os.Exit(1)
+}

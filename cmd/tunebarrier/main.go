@@ -1,0 +1,78 @@
+// Command tunebarrier runs the paper's adaptive construction (§VII) against
+// a stored profile: SSS clustering, greedy component selection, hybrid
+// composition, and Eq. 3 verification. It prints the discovered hierarchy
+// and decisions, and optionally stores the composed schedule as JSON for
+// runbarrier and genbarrier.
+//
+// Usage:
+//
+//	tunebarrier -profile profile.json [-o schedule.json] [-sparseness F]
+//	            [-maxdepth N] [-builders paper|extended] [-dump]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+)
+
+func main() {
+	var (
+		profPath   = flag.String("profile", "profile.json", "profile file written by profilecluster")
+		out        = flag.String("o", "", "write the composed schedule as JSON")
+		sparseness = flag.Float64("sparseness", sss.DefaultSparseness, "SSS sparseness fraction of diameter")
+		maxdepth   = flag.Int("maxdepth", 0, "clustering recursion bound (0 = unlimited)")
+		builders   = flag.String("builders", "paper", "component set: paper or extended")
+		dump       = flag.Bool("dump", false, "print the stage matrices (Figure 10 style)")
+	)
+	flag.Parse()
+
+	pf, err := profile.Load(*profPath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Clustering: sss.Options{Sparseness: *sparseness, MaxDepth: *maxdepth},
+	}
+	switch *builders {
+	case "paper":
+		opts.Builders = sched.PaperBuilders()
+	case "extended":
+		opts.Builders = sched.ExtendedBuilders()
+	default:
+		fatal(fmt.Errorf("unknown builder set %q", *builders))
+	}
+
+	tuned, err := core.Tune(pf, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("platform: %s (P=%d)\n", pf.Platform, pf.P)
+	fmt.Printf("clusters: %s\n\n", tuned.Tree)
+	fmt.Print(tuned.Result.Describe())
+	if *dump {
+		fmt.Println()
+		fmt.Print(tuned.Schedule().String())
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(tuned.Schedule(), "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tunebarrier:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Retune demonstrates the re-tuning scenario the paper sketches as future
+// work (§VIII): predictions are captured statically, so when run-time
+// conditions drift away from the profiled ones, a tuned barrier loses its
+// advantage — and because generation takes on the order of 0.1 seconds, it
+// is feasible to re-profile and re-tune periodically.
+//
+// Here the drift is a job reschedule: a barrier tuned for a block placement
+// keeps synchronising after the scheduler moves the job to a round-robin
+// placement, but its locality assumptions are wrong; re-tuning on a fresh
+// profile recovers the performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topobarrier"
+)
+
+const p = 24
+
+func worldFor(pl topobarrier.Placement, seed uint64) *topobarrier.World {
+	fab, err := topobarrier.NewFabric(topobarrier.QuadCluster(), pl, p, topobarrier.GigEParams(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return topobarrier.NewWorld(fab)
+}
+
+func tuneOn(w *topobarrier.World) *topobarrier.TunedBarrier {
+	cfg := topobarrier.DefaultProbe()
+	cfg.Replicate = true
+	tuned, err := topobarrier.ProfileAndTune(w, cfg, topobarrier.TuneOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tuned
+}
+
+func measure(w *topobarrier.World, b topobarrier.BarrierFunc) float64 {
+	m, err := topobarrier.Measure(w, b, 5, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Mean
+}
+
+func main() {
+	// Day 1: the job runs block-placed; tune for that layout.
+	before := worldFor(topobarrier.Block{}, 1)
+	tuned := tuneOn(before)
+	fmt.Printf("tuned for block placement: %.1fµs/barrier (predicted %.1fµs)\n",
+		measure(before, tuned.Func())*1e6, tuned.PredictedCost()*1e6)
+
+	// Day 2: the scheduler restarts the job round-robin. The old barrier
+	// still synchronises (it is a verified signal pattern over the same
+	// ranks) but its stage structure no longer matches the topology.
+	after := worldFor(topobarrier.RoundRobin{}, 2)
+	if err := topobarrier.Validate(after, tuned.Func(), 0.5, []int{0, p - 1}); err != nil {
+		log.Fatal(err)
+	}
+	stale := measure(after, tuned.Func())
+	fmt.Printf("after reschedule, stale barrier:   %.1fµs/barrier (still correct, wrong locality)\n", stale*1e6)
+
+	// Re-profile and re-tune on the new layout.
+	retuned := tuneOn(after)
+	fresh := measure(after, retuned.Func())
+	fmt.Printf("after re-tuning:                   %.1fµs/barrier (%.2fx better than stale)\n",
+		fresh*1e6, stale/fresh)
+
+	mpi := measure(after, topobarrier.MPIBarrier)
+	fmt.Printf("topology-neutral MPI tree:         %.1fµs/barrier\n", mpi*1e6)
+}

@@ -1,0 +1,56 @@
+// Stencil is the application-level motivation study: a bulk-synchronous
+// stencil-style workload (compute, ring halo exchange, global barrier per
+// superstep) run with the topology-tuned barrier and with the MPI tree
+// barrier, across compute grain sizes. At fine grain the barrier dominates
+// and the tuned hybrid buys real application time; as grain grows the
+// advantage amortises away — quantifying when the paper's optimization
+// matters to an application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topobarrier"
+	"topobarrier/internal/workload"
+)
+
+func main() {
+	const p = 48
+	fab, err := topobarrier.NewFabric(
+		topobarrier.HexCluster(), topobarrier.RoundRobin{}, p, topobarrier.GigEParams(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	world := topobarrier.NewWorld(fab)
+
+	cfg := topobarrier.DefaultProbe()
+	cfg.Replicate = true
+	tuned, err := topobarrier.ProfileAndTune(world, cfg, topobarrier.TuneOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stencil workload, %d ranks on %s\n", p, fab.Spec().Name)
+	fmt.Printf("%12s %14s %14s %14s %10s\n",
+		"grain", "hybrid total", "MPI total", "overhead cut", "app gain")
+
+	for _, grain := range []float64{0, 20e-6, 100e-6, 500e-6, 5e-3} {
+		wl := workload.BSPConfig{
+			Iterations:  40,
+			ComputeMean: grain,
+			Imbalance:   0.2,
+			HaloBytes:   2048,
+			Seed:        3,
+		}
+		hybrid, mpiTree, err := workload.Compare(world, wl, tuned.Func(), topobarrier.MPIBarrier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cut := mpiTree.Overhead - hybrid.Overhead
+		gain := (mpiTree.Total - hybrid.Total) / mpiTree.Total * 100
+		fmt.Printf("%10.0fµs %12.2fms %12.2fms %12.1fµs %9.1f%%\n",
+			grain*1e6, hybrid.Total*1e3, mpiTree.Total*1e3, cut*1e6, gain)
+	}
+	fmt.Println("\nfine-grained supersteps inherit the full barrier speedup;")
+	fmt.Println("coarse grains amortise synchronization and the gap closes.")
+}

@@ -1,0 +1,116 @@
+package topobarrier_test
+
+import (
+	"testing"
+
+	"topobarrier"
+)
+
+func hexWorld(t testing.TB, p int, seed uint64) (*topobarrier.World, *topobarrier.Fabric) {
+	t.Helper()
+	fab, err := topobarrier.NewFabric(topobarrier.HexCluster(), topobarrier.RoundRobin{}, p, topobarrier.GigEParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topobarrier.NewWorld(fab), fab
+}
+
+func TestPublicSearchImprovesSeed(t *testing.T) {
+	_, fab := hexWorld(t, 24, 1)
+	prof := fab.TrueProfile()
+	pd := topobarrier.NewPredictor(prof)
+	seed := topobarrier.Dissemination(24)
+	res, err := topobarrier.AnnealSearch(pd, seed, topobarrier.AnnealOptions{Seed: 1, Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > pd.Cost(seed) {
+		t.Fatalf("search worse than seed")
+	}
+	if !res.Schedule.IsBarrier() {
+		t.Fatalf("search result not a barrier")
+	}
+	if _, err := topobarrier.ExhaustiveSearch(pd, 2, false); err == nil {
+		t.Fatalf("intractable exhaustive accepted")
+	}
+}
+
+func TestPublicCollectives(t *testing.T) {
+	w, fab := hexWorld(t, 36, 2)
+	prof := fab.TrueProfile()
+	pd := topobarrier.NewPredictor(prof)
+	tree := topobarrier.ClusterRanks(prof, topobarrier.ClusterOptions{MaxDepth: 1})
+
+	b, err := topobarrier.HierBcast(pd, tree, topobarrier.PaperBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topobarrier.ValidateBroadcast(w, b, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := topobarrier.HierGather(pd, tree, topobarrier.PaperBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topobarrier.ValidateGather(w, g, 0, 0.5, []int{0, 35}); err != nil {
+		t.Fatal(err)
+	}
+	hier, err := topobarrier.MeasureCold(w, topobarrier.TransferFunc(b, 64), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := topobarrier.MeasureCold(w, topobarrier.TransferFunc(topobarrier.BinomialBcast(36), 64), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Mean >= bin.Mean {
+		t.Fatalf("hierarchical bcast %.1fµs not faster one-shot than binomial %.1fµs",
+			hier.Mean*1e6, bin.Mean*1e6)
+	}
+}
+
+func TestPublicTracingAndRefinement(t *testing.T) {
+	fab, err := topobarrier.NewFabric(topobarrier.QuadCluster(), topobarrier.RoundRobin{}, 16, topobarrier.GigEParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, rec := topobarrier.NewTracedWorld(fab)
+	if _, err := topobarrier.RunTracedOnce(w, topobarrier.MPIBarrier); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatalf("no events recorded")
+	}
+	if len(rec.CriticalPath()) == 0 {
+		t.Fatalf("no critical path")
+	}
+	prof := fab.TrueProfile()
+	n, err := topobarrier.RefineProfile(prof, rec, 0.3)
+	if err != nil || n == 0 {
+		t.Fatalf("refinement failed: n=%d err=%v", n, err)
+	}
+}
+
+func TestPublicDriftSession(t *testing.T) {
+	if !topobarrier.RetuneProfitable(100e-6, 50e-6, 1e-3, 1000) {
+		t.Fatalf("profitability check wrong")
+	}
+	mon, err := topobarrier.NewDriftMonitor(100e-6, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Observe(200e-6)
+	if !mon.Observe(200e-6) {
+		t.Fatalf("drift not flagged")
+	}
+	w, _ := hexWorld(t, 12, 4)
+	cfg := topobarrier.DefaultProbe()
+	cfg.Replicate = true
+	sess, err := topobarrier.NewSession(w, cfg, topobarrier.TuneOptions{}, 1e-3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Current() == nil {
+		t.Fatalf("no initial barrier")
+	}
+}

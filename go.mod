@@ -1,0 +1,3 @@
+module topobarrier
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package coll extends the paper's method from barriers to other
+// latency-bound collective operations — the library-implementation direction
+// §VIII points at, and the setting of the automatic collective tuning work
+// the paper builds on (Vadhiyar et al.; Faraj & Yuan).
+//
+// A small-message gather or broadcast is, in the algorithmic model of §V,
+// simply one half of a barrier: a gather is a signal pattern whose final
+// knowledge matrix has the root's column fully set, a broadcast one with the
+// root's row fully set. The same clustering, component selection and cost
+// prediction machinery therefore composes topology-aware gathers and
+// broadcasts; the reversed-transpose symmetry converts between them.
+//
+// Payloads are assumed small enough that per-message startup dominates (the
+// profile's O and L matrices carry no bandwidth term), which is exactly the
+// regime in which topology-aware signal routing pays off.
+package coll
+
+import (
+	"fmt"
+
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+)
+
+// Gather composes a topology-aware gather pattern over the clustered
+// hierarchy: each cluster funnels into its representative using the
+// greedily-cheapest component, and representatives funnel upward, ending at
+// the hierarchy root's representative (rank tree.Representative()).
+func Gather(pd *predict.Predictor, tree *sss.Node, builders []sched.Builder) (*sched.Schedule, error) {
+	if len(builders) == 0 {
+		return nil, fmt.Errorf("coll: no component algorithms")
+	}
+	p := pd.Prof.P
+	s, err := gatherNode(pd, tree, builders, p)
+	if err != nil {
+		return nil, err
+	}
+	s = s.DropEmptyStages()
+	s.Name = fmt.Sprintf("hier-gather(%d)", p)
+	if !s.IsGather(tree.Representative()) {
+		return nil, fmt.Errorf("coll: composed gather does not reach root (bug)")
+	}
+	return s, nil
+}
+
+func gatherNode(pd *predict.Predictor, n *sss.Node, builders []sched.Builder, p int) (*sched.Schedule, error) {
+	members := n.Ranks
+	below := sched.New("children", p)
+	if !n.IsLeaf() {
+		parts := make([]*sched.Schedule, 0, len(n.Children))
+		reps := make([]int, 0, len(n.Children))
+		for _, c := range n.Children {
+			cs, err := gatherNode(pd, c, builders, p)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, cs)
+			reps = append(reps, c.Representative())
+		}
+		below = sched.MergeEarly("children", p, parts...)
+		members = reps
+	}
+	own, err := bestArrival(pd, members, builders, p)
+	if err != nil {
+		return nil, err
+	}
+	return below.Concat(own), nil
+}
+
+// bestArrival greedily picks the cheapest arrival component over the
+// members, lifted to the global rank space. Components that need no
+// departure (dissemination) are admissible but their extra signals usually
+// price them out of pure gathers.
+func bestArrival(pd *predict.Predictor, members []int, builders []sched.Builder, p int) (*sched.Schedule, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("coll: empty cluster")
+	}
+	if len(members) == 1 {
+		return sched.New("singleton", p), nil
+	}
+	var best *sched.Schedule
+	bestCost := 0.0
+	for _, b := range builders {
+		lifted := b.Arrival(len(members)).Lift(p, members)
+		cost := pd.Cost(lifted)
+		if best == nil || cost < bestCost {
+			best, bestCost = lifted, cost
+		}
+	}
+	return best, nil
+}
+
+// Bcast composes a topology-aware broadcast from the hierarchy root's
+// representative: the reversed transposes of the hierarchical gather, the
+// §V.B symmetry.
+func Bcast(pd *predict.Predictor, tree *sss.Node, builders []sched.Builder) (*sched.Schedule, error) {
+	g, err := Gather(pd, tree, builders)
+	if err != nil {
+		return nil, err
+	}
+	s := g.ReverseTransposed().DropEmptyStages()
+	s.Name = fmt.Sprintf("hier-bcast(%d)", pd.Prof.P)
+	if !s.IsBroadcast(tree.Representative()) {
+		return nil, fmt.Errorf("coll: composed broadcast does not cover all ranks (bug)")
+	}
+	return s, nil
+}
+
+// BinomialGather returns the topology-neutral binomial gather to rank 0 —
+// the baseline a library without locality information uses.
+func BinomialGather(p int) *sched.Schedule {
+	s := sched.TreeArrival(p)
+	s.Name = fmt.Sprintf("binomial-gather(%d)", p)
+	return s
+}
+
+// BinomialBcast returns the topology-neutral binomial broadcast from rank 0.
+func BinomialBcast(p int) *sched.Schedule {
+	s := sched.TreeArrival(p).ReverseTransposed()
+	s.Name = fmt.Sprintf("binomial-bcast(%d)", p)
+	return s
+}
+
+// FlatGather returns the 1-stage all-to-root gather.
+func FlatGather(p int) *sched.Schedule {
+	s := sched.LinearArrival(p)
+	s.Name = fmt.Sprintf("flat-gather(%d)", p)
+	return s
+}
+
+// FlatBcast returns the 1-stage root-to-all broadcast.
+func FlatBcast(p int) *sched.Schedule {
+	s := sched.LinearArrival(p).ReverseTransposed()
+	s.Name = fmt.Sprintf("flat-bcast(%d)", p)
+	return s
+}

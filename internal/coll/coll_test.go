@@ -1,0 +1,183 @@
+package coll
+
+import (
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+	"topobarrier/internal/topo"
+)
+
+func setup(t testing.TB, p int) (*mpi.World, *predict.Predictor, *sss.Node) {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.TrueProfile()
+	return mpi.NewWorld(f), predict.New(pf), sss.Tree(pf, sss.Options{MaxDepth: 1})
+}
+
+func TestGatherCorrectAcrossSizes(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 13, 24} {
+		w, pd, tree := setup(t, p)
+		g, err := Gather(pd, tree, sched.PaperBuilders())
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !g.IsGather(0) {
+			t.Fatalf("p=%d: gather does not reach rank 0", p)
+		}
+		if err := run.ValidateGather(w, g, 0, 0.5, []int{0, p / 2, p - 1}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBcastCorrectAcrossSizes(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 13, 24} {
+		w, pd, tree := setup(t, p)
+		b, err := Bcast(pd, tree, sched.PaperBuilders())
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := run.ValidateBroadcast(w, b, 0, 0.5); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHierarchicalBcastBeatsBinomialOneShot(t *testing.T) {
+	// The point of the extension: a topology-aware broadcast crosses a slow
+	// link once per node where a binomial broadcast chains log-many slow
+	// hops. Collectives are compared one-shot (MeasureCold): back-to-back
+	// repetition lets deep trees hide startup costs behind pre-posted
+	// receives, which is the pipelining regime, not the collective-latency
+	// regime.
+	p := 24
+	w, pd, tree := setup(t, p)
+	hier, err := Bcast(pd, tree, sched.PaperBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHier, err := run.MeasureCold(w, run.TransferFunc(hier, 64), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBin, err := run.MeasureCold(w, run.TransferFunc(BinomialBcast(p), 64), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mHier.Mean >= mBin.Mean {
+		t.Fatalf("hierarchical bcast %.1fµs not faster than binomial %.1fµs",
+			mHier.Mean*1e6, mBin.Mean*1e6)
+	}
+	// The predictor models exactly this cold regime; both predictions must
+	// land within 25% of the cold measurements.
+	for _, c := range []struct {
+		name string
+		s    interface {
+			NumStages() int
+		}
+		pred, meas float64
+	}{
+		{"hier", hier, pd.Cost(hier), mHier.Mean},
+		{"binomial", BinomialBcast(p), pd.Cost(BinomialBcast(p)), mBin.Mean},
+	} {
+		ratio := c.pred / c.meas
+		if ratio < 0.75 || ratio > 1.33 {
+			t.Fatalf("%s: cold prediction %.1fµs vs measured %.1fµs", c.name, c.pred*1e6, c.meas*1e6)
+		}
+	}
+}
+
+func TestHierarchicalGatherPredictsCheaper(t *testing.T) {
+	p := 32
+	_, pd, tree := setup(t, p)
+	hier, err := Gather(pd, tree, sched.PaperBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Cost(hier) >= pd.Cost(BinomialGather(p)) {
+		t.Fatalf("hierarchical gather predicted no cheaper: %g vs %g",
+			pd.Cost(hier), pd.Cost(BinomialGather(p)))
+	}
+}
+
+func TestBaselinesSemantics(t *testing.T) {
+	for _, p := range []int{2, 7, 16} {
+		if !BinomialGather(p).IsGather(0) {
+			t.Fatalf("binomial gather(%d) wrong", p)
+		}
+		if !BinomialBcast(p).IsBroadcast(0) {
+			t.Fatalf("binomial bcast(%d) wrong", p)
+		}
+		if !FlatGather(p).IsGather(0) {
+			t.Fatalf("flat gather(%d) wrong", p)
+		}
+		if !FlatBcast(p).IsBroadcast(0) {
+			t.Fatalf("flat bcast(%d) wrong", p)
+		}
+		// A pure gather must not claim broadcast semantics (and vice versa)
+		// beyond the trivial P=1.
+		if p > 1 && BinomialGather(p).IsBroadcast(0) {
+			t.Fatalf("gather(%d) claims broadcast semantics", p)
+		}
+	}
+}
+
+func TestValidateRejectsWrongSemantics(t *testing.T) {
+	w, _, _ := setup(t, 8)
+	g := BinomialGather(8)
+	if err := run.ValidateBroadcast(w, g, 0, 0.5); err == nil {
+		t.Fatalf("gather accepted as broadcast")
+	}
+	b := BinomialBcast(8)
+	if err := run.ValidateGather(w, b, 0, 0.5, []int{7}); err == nil {
+		t.Fatalf("broadcast accepted as gather")
+	}
+}
+
+func TestNoBuildersError(t *testing.T) {
+	_, pd, tree := setup(t, 8)
+	if _, err := Gather(pd, tree, nil); err == nil {
+		t.Fatalf("empty builder set accepted")
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	f, err := fabric.New(topo.SingleNode(1, 1, 0), topo.Block{}, 1, fabric.Params{
+		Classes:      map[topo.LinkClass]fabric.Link{},
+		SelfOverhead: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.TrueProfile()
+	pd := predict.New(pf)
+	tree := sss.Tree(pf, sss.Options{})
+	g, err := Gather(pd, tree, sched.PaperBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStages() != 0 {
+		t.Fatalf("1-rank gather has stages")
+	}
+}
+
+func BenchmarkHierBcast32(b *testing.B) {
+	w, pd, tree := setup(b, 32)
+	s, err := Bcast(pd, tree, sched.PaperBuilders())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Measure(w, run.TransferFunc(s, 64), 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package compose implements the paper's greedy hybrid barrier construction
+// (§VII.B): it walks the topology tree produced by SSS clustering, evaluates
+// every component algorithm on each cluster, greedily keeps the one with the
+// cheapest predicted arrival phase, merges sibling arrival phases into a
+// single matrix sequence as early as possible, and infers the departure
+// phase as the reversed sequence of transposed matrices — omitting the root
+// level when the root algorithm is a dissemination, which leaves every
+// representative fully informed without departure signals.
+package compose
+
+import (
+	"fmt"
+	"strings"
+
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+)
+
+// Choice records the greedy decision taken for one cluster of the tree.
+type Choice struct {
+	// Ranks are the members the component ran over: a leaf cluster's ranks,
+	// or the representatives of an internal node's children.
+	Ranks []int
+	// Algorithm is the selected component's name.
+	Algorithm string
+	// Cost is the predicted cost of the component's phases in isolation
+	// (arrival ×2, or ×1 for a root-level no-departure component).
+	Cost float64
+	// Root marks the decision at the top of the hierarchy.
+	Root bool
+}
+
+// Result is a composed hybrid barrier.
+type Result struct {
+	// Schedule is the full global signal pattern (arrival and departure),
+	// with no-op stages eliminated.
+	Schedule *sched.Schedule
+	// Choices lists the per-cluster decisions bottom-up.
+	Choices []Choice
+	// PredictedCost is the predictor's critical-path estimate of Schedule.
+	PredictedCost float64
+}
+
+// Describe renders the decisions, in the spirit of the paper's Figure 10.
+func (r *Result) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hybrid over %d ranks: %d stages, predicted %.1fµs\n",
+		r.Schedule.P, r.Schedule.NumStages(), r.PredictedCost*1e6)
+	for _, c := range r.Choices {
+		level := "cluster"
+		if c.Root {
+			level = "root"
+		}
+		fmt.Fprintf(&b, "  %-7s %-14s over %v (predicted %.1fµs)\n", level, c.Algorithm, c.Ranks, c.Cost*1e6)
+	}
+	return b.String()
+}
+
+// Hybrid composes a specialised barrier for the platform described by the
+// predictor's profile, over the given topology tree, choosing among the given
+// component algorithms.
+func Hybrid(pd *predict.Predictor, tree *sss.Node, builders []sched.Builder) (*Result, error) {
+	if len(builders) == 0 {
+		return nil, fmt.Errorf("compose: no component algorithms")
+	}
+	p := pd.Prof.P
+	res := &Result{}
+
+	below, rootPhase, rootNeedsDeparture, err := res.buildArrival(pd, tree, builders, p, true)
+	if err != nil {
+		return nil, err
+	}
+
+	full := sched.New(fmt.Sprintf("hybrid(%d)", p), p)
+	full.Concat(below)
+	full.Concat(rootPhase)
+	if rootNeedsDeparture {
+		// Departure mirrors the entire arrival.
+		whole := below.Clone().Concat(rootPhase)
+		full.Concat(whole.ReverseTransposed())
+	} else {
+		// A root-level dissemination informs every representative; only the
+		// sub-root levels need their transposed broadcast.
+		full.Concat(below.ReverseTransposed())
+	}
+	full = full.DropEmptyStages()
+	full.Name = fmt.Sprintf("hybrid(%d)", p)
+	if !full.IsBarrier() {
+		return nil, fmt.Errorf("compose: composed schedule does not globally synchronise (bug)")
+	}
+	res.Schedule = full
+	res.PredictedCost = pd.Cost(full)
+	return res, nil
+}
+
+// buildArrival returns the arrival phases of a subtree, split into the
+// stages below the node's own level (`below`) and the node's own local phase
+// (`own`), so the caller can treat the root's no-departure case. For a leaf,
+// `below` is empty and `own` is the leaf's local arrival.
+func (r *Result) buildArrival(pd *predict.Predictor, n *sss.Node, builders []sched.Builder, p int, isRoot bool) (below, own *sched.Schedule, needsDeparture bool, err error) {
+	members := n.Ranks
+	if !n.IsLeaf() {
+		// Compose the children first; their merged arrival runs before this
+		// level's phase.
+		parts := make([]*sched.Schedule, 0, len(n.Children))
+		reps := make([]int, 0, len(n.Children))
+		for _, c := range n.Children {
+			cb, co, _, cerr := r.buildArrival(pd, c, builders, p, false)
+			if cerr != nil {
+				return nil, nil, false, cerr
+			}
+			parts = append(parts, cb.Concat(co))
+			reps = append(reps, c.Representative())
+		}
+		below = sched.MergeEarly("children", p, parts...)
+		members = reps
+	} else {
+		below = sched.New("children", p)
+	}
+
+	own, needsDeparture, choice, err := r.selectComponent(pd, members, builders, p, isRoot)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	choice.Root = isRoot
+	r.Choices = append(r.Choices, choice)
+	return below, own, needsDeparture, nil
+}
+
+// selectComponent greedily picks the cheapest component for one group of
+// members, lifted into the global rank space.
+func (r *Result) selectComponent(pd *predict.Predictor, members []int, builders []sched.Builder, p int, isRoot bool) (*sched.Schedule, bool, Choice, error) {
+	if len(members) == 0 {
+		return nil, false, Choice{}, fmt.Errorf("compose: empty cluster")
+	}
+	if len(members) == 1 {
+		return sched.New("singleton", p), true, Choice{Ranks: members, Algorithm: "singleton"}, nil
+	}
+	var (
+		best        *sched.Schedule
+		bestBuilder sched.Builder
+		bestCost    float64
+	)
+	for _, b := range builders {
+		lifted := b.Arrival(len(members)).Lift(p, members)
+		// Lower levels always pay the departure transposes; only the root
+		// can exploit a no-departure component (§VII.B).
+		needsDep := b.NeedsDeparture() || !isRoot
+		cost := pd.ArrivalPhaseCost(lifted, needsDep)
+		if best == nil || cost < bestCost {
+			best, bestBuilder, bestCost = lifted, b, cost
+		}
+	}
+	ch := Choice{Ranks: append([]int(nil), members...), Algorithm: bestBuilder.Name(), Cost: bestCost}
+	return best, bestBuilder.NeedsDeparture() || !isRoot, ch, nil
+}

@@ -1,0 +1,96 @@
+// Package core assembles the paper's primary contribution into one pipeline:
+// given a topological profile of a platform (§IV), it clusters the ranks by
+// physical locality (§VII.A), greedily composes a hybrid barrier from
+// component algorithms using the coupled cost model (§VII.B), verifies that
+// the result globally synchronises (Eq. 3), and produces both an executable
+// plan and hard-coded source for the specialised barrier (§VII.C).
+package core
+
+import (
+	"fmt"
+
+	"topobarrier/internal/codegen"
+	"topobarrier/internal/compose"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+)
+
+// Options configures the adaptive tuning pipeline. The zero value reproduces
+// the paper's configuration: the linear/dissemination/tree component set,
+// SSS clustering at 35 % sparseness with unbounded depth, and the
+// first-stage-Eq.1 cost policy.
+type Options struct {
+	// Builders is the component algorithm set; nil selects the paper's three.
+	Builders []sched.Builder
+	// Clustering configures the SSS hierarchy construction.
+	Clustering sss.Options
+	// Policy selects the Eq. 1 / Eq. 2 weighting of predicted batch costs.
+	Policy predict.CostPolicy
+	// StageOverhead is the per-stage penalty of the predictor.
+	StageOverhead float64
+}
+
+// Tuned is a specialised barrier produced for one profiled platform.
+type Tuned struct {
+	// Profile is the topological model the barrier was tuned for.
+	Profile *profile.Profile
+	// Tree is the locality hierarchy discovered by clustering.
+	Tree *sss.Node
+	// Result holds the composed schedule and the per-cluster decisions.
+	Result *compose.Result
+	// Plan is the flattened executable form of the schedule.
+	Plan *run.Plan
+}
+
+// PredictedCost returns the critical-path cost estimate of the tuned barrier.
+func (t *Tuned) PredictedCost() float64 { return t.Result.PredictedCost }
+
+// Schedule returns the composed signal pattern.
+func (t *Tuned) Schedule() *sched.Schedule { return t.Result.Schedule }
+
+// Func returns the barrier as an executable function.
+func (t *Tuned) Func() run.Func { return t.Plan.Func() }
+
+// GenerateSource emits hard-coded Go source for the tuned barrier.
+func (t *Tuned) GenerateSource(opts codegen.Options) ([]byte, error) {
+	return codegen.Generate(t.Result.Schedule, opts)
+}
+
+// Tune runs the adaptive construction against a profile.
+func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
+	if err := pf.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	builders := opts.Builders
+	if builders == nil {
+		builders = sched.PaperBuilders()
+	}
+	pd := &predict.Predictor{Prof: pf, Policy: opts.Policy, StageOverhead: opts.StageOverhead}
+	tree := sss.Tree(pf, opts.Clustering)
+	res, err := compose.Hybrid(pd, tree, builders)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := run.NewPlan(res.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuned{Profile: pf, Tree: tree, Result: res, Plan: plan}, nil
+}
+
+// ProfileAndTune profiles the platform of a world with the given benchmark
+// configuration and immediately tunes a barrier for it — the full §III
+// pipeline in one call. The profile is also returned via the Tuned value for
+// storage and re-use.
+func ProfileAndTune(w *mpi.World, probeCfg probe.Config, opts Options) (*Tuned, error) {
+	pf, err := probe.Measure(w, probeCfg)
+	if err != nil {
+		return nil, err
+	}
+	return Tune(pf, opts)
+}

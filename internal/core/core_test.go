@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"topobarrier/internal/baseline"
+	"topobarrier/internal/codegen"
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/sss"
+	"topobarrier/internal/topo"
+)
+
+func quadWorld(t testing.TB, p int, seed uint64) *mpi.World {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.NewWorld(f)
+}
+
+func TestTuneProducesValidSpecialisedBarrier(t *testing.T) {
+	w := quadWorld(t, 24, 1)
+	tuned, err := Tune(w.Fabric().TrueProfile(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuned.Schedule().IsBarrier() {
+		t.Fatalf("tuned schedule not a barrier")
+	}
+	if tuned.PredictedCost() <= 0 {
+		t.Fatalf("predicted cost %g", tuned.PredictedCost())
+	}
+	if tuned.Tree == nil || tuned.Tree.IsLeaf() {
+		t.Fatalf("no hierarchy discovered")
+	}
+	if err := run.Validate(w, tuned.Func(), 0.5, []int{0, 7, 23}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunePredictsNoWorseThanPureComponents(t *testing.T) {
+	pf := quadWorld(t, 40, 2).Fabric().TrueProfile()
+	tuned, err := Tune(pf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := predict.New(pf)
+	for _, pure := range []*sched.Schedule{sched.Linear(40), sched.Dissemination(40), sched.Tree(40)} {
+		if tuned.PredictedCost() > pd.Cost(pure) {
+			t.Fatalf("hybrid predicted %g, worse than %s %g", tuned.PredictedCost(), pure.Name, pd.Cost(pure))
+		}
+	}
+}
+
+func TestTunedBeatsOrMatchesMPIBaselineMeasured(t *testing.T) {
+	// The headline claim (Figure 11): generated barrier performance is
+	// similar to the MPI (tree) barrier at worst, significantly better in
+	// most cases. Allow 10% slack for noise.
+	for _, p := range []int{16, 24, 40} {
+		w := quadWorld(t, p, 3)
+		tuned, err := Tune(w.Fabric().TrueProfile(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybrid, err := run.Measure(quadWorld(t, p, 10), tuned.Func(), 3, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpiTree, err := run.Measure(quadWorld(t, p, 10), baseline.Tree, 3, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hybrid.Mean > 1.1*mpiTree.Mean {
+			t.Fatalf("p=%d: hybrid %.1fµs worse than MPI tree %.1fµs",
+				p, hybrid.Mean*1e6, mpiTree.Mean*1e6)
+		}
+	}
+}
+
+func TestProfileAndTuneEndToEnd(t *testing.T) {
+	w := quadWorld(t, 16, 4)
+	cfg := probe.Default()
+	cfg.Replicate = true
+	tuned, err := ProfileAndTune(w, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Profile.P != 16 {
+		t.Fatalf("profile P = %d", tuned.Profile.P)
+	}
+	if err := run.Validate(w, tuned.Func(), 0.5, []int{0, 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSourceFromTuned(t *testing.T) {
+	tuned, err := Tune(quadWorld(t, 12, 5).Fabric().TrueProfile(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := tuned.GenerateSource(codegen.Options{Package: "main", FuncName: "TunedBarrier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codegen.Check(src); err != nil {
+		t.Fatalf("generated source invalid: %v", err)
+	}
+	if !strings.Contains(string(src), "func TunedBarrier") {
+		t.Fatalf("function missing:\n%s", src)
+	}
+}
+
+func TestTuneRejectsInvalidProfile(t *testing.T) {
+	bad := profile.New("bad", 4)
+	bad.O.Set(0, 1, -1)
+	if _, err := Tune(bad, Options{}); err == nil {
+		t.Fatalf("invalid profile accepted")
+	}
+}
+
+func TestTuneHonoursOptions(t *testing.T) {
+	pf := quadWorld(t, 24, 6).Fabric().TrueProfile()
+	flat, err := Tune(pf, Options{Clustering: sss.Options{MaxDepth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Tree.Depth() != 2 {
+		t.Fatalf("MaxDepth ignored: depth %d", flat.Tree.Depth())
+	}
+	ext, err := Tune(pf, Options{Builders: sched.ExtendedBuilders()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Schedule().IsBarrier() {
+		t.Fatalf("extended tuning broken")
+	}
+	pol, err := Tune(pf, Options{Policy: predict.AlwaysEq1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.PredictedCost() < flat.PredictedCost() {
+		// AlwaysEq1 must not predict cheaper than the default policy for the
+		// same shape of schedule; it may pick a different hybrid though, so
+		// only sanity-check positivity.
+		t.Logf("policy changed hybrid shape: %g vs %g", pol.PredictedCost(), flat.PredictedCost())
+	}
+}
+
+func BenchmarkTune64(b *testing.B) {
+	pf := quadWorld(b, 64, 1).Fabric().TrueProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tune(pf, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTuneOnAsymmetricProfile(t *testing.T) {
+	// §IV.A: the cost matrices extend trivially to asymmetric links. Probe a
+	// direction-skewed fabric with the directed protocol and verify the
+	// tuned barrier is correct and competitive there.
+	params := fabric.GigEParams(6)
+	params.DirectionSkew = 0.6
+	f, err := fabric.New(topo.QuadCluster(), topo.RoundRobin{}, 24, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(f)
+	cfg := probe.Default()
+	cfg.Replicate = true
+	pf, err := probe.MeasureDirected(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Tune(pf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Validate(w, tuned.Func(), 0.5, []int{0, 12, 23}); err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := run.Measure(w, tuned.Func(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiTree, err := run.Measure(w, baseline.Tree, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Mean > 1.1*mpiTree.Mean {
+		t.Fatalf("asymmetric hybrid %.1fµs worse than MPI tree %.1fµs", hybrid.Mean*1e6, mpiTree.Mean*1e6)
+	}
+}
+
+func TestLowLatencyInterconnectNarrowsTheGap(t *testing.T) {
+	// §VI: the hybrid's advantage stems from the inter-/intra-node latency
+	// gap. On an RDMA-class fabric (IBParams) the gap is ~5x instead of
+	// ~70x, so the tuned barrier's speedup over the MPI tree must shrink
+	// relative to the GigE cluster — while remaining correct and no slower.
+	const p = 40
+	speedup := func(params fabric.Params) float64 {
+		f, err := fabric.New(topo.QuadCluster(), topo.RoundRobin{}, p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := mpi.NewWorld(f)
+		tuned, err := Tune(f.TrueProfile(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Validate(w, tuned.Func(), 0.25, []int{0, p - 1}); err != nil {
+			t.Fatal(err)
+		}
+		hybrid, err := run.Measure(w, tuned.Func(), 3, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := run.Measure(w, baseline.Tree, 3, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree.Mean / hybrid.Mean
+	}
+	gige := speedup(fabric.GigEParams(4))
+	ib := speedup(fabric.IBParams(4))
+	if gige <= ib {
+		t.Fatalf("locality gap effect missing: GigE speedup %.2f vs IB %.2f", gige, ib)
+	}
+	if ib < 0.9 {
+		t.Fatalf("hybrid slower than tree on IB: %.2f", ib)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/stats"
+	"topobarrier/internal/topo"
+)
+
+// TestQuickTuneOnRandomMachines is the pipeline-wide correctness property:
+// for arbitrary machine shapes, placements, cost magnitudes and job sizes,
+// the tuned schedule must verify under Eq. 3 AND synchronise on the runtime
+// under delay injection.
+func TestQuickTuneOnRandomMachines(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		spec := topo.Spec{
+			Name:           "random",
+			Nodes:          rng.Intn(5) + 1,
+			SocketsPerNode: rng.Intn(2) + 1,
+			CoresPerSocket: rng.Intn(6) + 1,
+		}
+		if spec.CoresPerSocket >= 2 && rng.Intn(2) == 0 {
+			spec.CacheGroup = 2
+		}
+		total := spec.TotalCores()
+		p := rng.Intn(total) + 1
+		if p < 2 {
+			p = 2
+			if total < 2 {
+				return true // degenerate machine, nothing to test
+			}
+		}
+		var pl topo.Placement = topo.Block{}
+		if rng.Intn(2) == 0 {
+			pl = topo.RoundRobin{}
+		}
+		// Random but ordered cost magnitudes (local < socket < node).
+		base := (1 + rng.Float64()) * 1e-6
+		params := fabric.Params{
+			Classes: map[topo.LinkClass]fabric.Link{
+				topo.SharedCache: {Alpha: base * 0.6, Lambda: base * 0.15, Sigma: 0.05},
+				topo.SameSocket:  {Alpha: base, Lambda: base * 0.25, Sigma: 0.05},
+				topo.CrossSocket: {Alpha: base * 2, Lambda: base * 0.6, Sigma: 0.05},
+				topo.CrossNode:   {Alpha: base * (20 + 60*rng.Float64()), Lambda: base * 8, Sigma: 0.1},
+			},
+			SelfOverhead: base * 0.5,
+			Seed:         seed,
+		}
+		fab, err := fabric.New(spec, pl, p, params)
+		if err != nil {
+			t.Logf("seed %d: fabric: %v", seed, err)
+			return false
+		}
+		tuned, err := Tune(fab.TrueProfile(), Options{})
+		if err != nil {
+			t.Logf("seed %d: tune: %v", seed, err)
+			return false
+		}
+		if !tuned.Schedule().IsBarrier() {
+			t.Logf("seed %d: not a barrier", seed)
+			return false
+		}
+		w := mpi.NewWorld(fab)
+		delayed := []int{0, p - 1}
+		if err := run.Validate(w, tuned.Func(), 0.25, delayed); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTuneExtendedBuildersOnRandomMachines repeats the property with
+// the extended component set, which exercises the ring and k-ary builders
+// inside arbitrary hierarchies.
+func TestQuickTuneExtendedBuildersOnRandomMachines(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed ^ 0xabcdef)
+		spec := topo.Spec{
+			Name:           "random-ext",
+			Nodes:          rng.Intn(4) + 1,
+			SocketsPerNode: 2,
+			CoresPerSocket: rng.Intn(4) + 2,
+		}
+		p := rng.Intn(spec.TotalCores()-1) + 2
+		fab, err := fabric.New(spec, topo.RoundRobin{}, p, fabric.GigEParams(seed))
+		if err != nil {
+			return false
+		}
+		tuned, err := Tune(fab.TrueProfile(), Options{Builders: sched.ExtendedBuilders()})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return tuned.Schedule().IsBarrier()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package des provides the discrete-event core of the simulated cluster: a
+// virtual clock and a deterministic pending-event queue.
+//
+// Events at equal virtual times are delivered in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a simulation that
+// schedules events deterministically replays bit-identically.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Queue is a pending-event set ordered by (time, insertion sequence). The
+// zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now float64
+}
+
+// Now returns the virtual time of the most recently popped event (0 before
+// any event ran).
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at virtual time t. Scheduling into the past
+// (before the last popped event) panics: it would corrupt causality.
+func (q *Queue) Schedule(t float64, fn func()) {
+	if fn == nil {
+		panic("des: Schedule with nil function")
+	}
+	if t < q.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%g < now=%g)", t, q.now))
+	}
+	q.seq++
+	heap.Push(&q.h, event{at: t, seq: q.seq, fn: fn})
+}
+
+// RunNext pops and executes the earliest pending event, advancing the clock
+// to its time. It reports whether an event was available.
+func (q *Queue) RunNext() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	q.now = e.at
+	e.fn()
+	return true
+}
+
+// Drain runs events until the queue is empty or maxEvents have run; it
+// returns the number of events executed. maxEvents <= 0 means unbounded.
+func (q *Queue) Drain(maxEvents int) int {
+	n := 0
+	for q.RunNext() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,133 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topobarrier/internal/stats"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var q Queue
+	var order []int
+	q.Schedule(3.0, func() { order = append(order, 3) })
+	q.Schedule(1.0, func() { order = append(order, 1) })
+	q.Schedule(2.0, func() { order = append(order, 2) })
+	if n := q.Drain(0); n != 3 {
+		t.Fatalf("Drain ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Now() != 3.0 {
+		t.Fatalf("Now() = %g", q.Now())
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(1.0, func() { order = append(order, i) })
+	}
+	q.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEventsMayScheduleMoreEvents(t *testing.T) {
+	var q Queue
+	var hits []float64
+	var chain func(depth int)
+	chain = func(depth int) {
+		hits = append(hits, q.Now())
+		if depth < 5 {
+			q.Schedule(q.Now()+1, func() { chain(depth + 1) })
+		}
+	}
+	q.Schedule(0, func() { chain(0) })
+	q.Drain(0)
+	if len(hits) != 6 || hits[5] != 5 {
+		t.Fatalf("chain hits = %v", hits)
+	}
+}
+
+func TestScheduleIntoPastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(2, func() {})
+	q.RunNext()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("past scheduling did not panic")
+		}
+	}()
+	q.Schedule(1, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("nil fn did not panic")
+		}
+	}()
+	q.Schedule(0, nil)
+}
+
+func TestDrainBound(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(float64(i), func() {})
+	}
+	if n := q.Drain(4); n != 4 {
+		t.Fatalf("bounded Drain ran %d", n)
+	}
+	if q.Len() != 6 {
+		t.Fatalf("Len() = %d after partial drain", q.Len())
+	}
+}
+
+func TestRunNextEmpty(t *testing.T) {
+	var q Queue
+	if q.RunNext() {
+		t.Fatalf("RunNext on empty queue returned true")
+	}
+}
+
+// Property: any batch of randomly-timed events is delivered in nondecreasing
+// time order.
+func TestQuickMonotoneDelivery(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		var q Queue
+		var times []float64
+		n := rng.Intn(50) + 1
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			q.Schedule(at, func() { times = append(times, q.Now()) })
+		}
+		q.Drain(0)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+1, func() {})
+		q.RunNext()
+	}
+}

@@ -1,0 +1,143 @@
+// Package dynamic implements the run-time adaptation scheme the paper
+// sketches as future work (§VIII): since a static profile cannot reflect
+// changing conditions, the barrier's observed cost is monitored, and when it
+// drifts away from the tuned prediction, the platform is re-profiled and the
+// barrier re-composed — but only when the re-tuning overhead can be
+// amortised over the expected number of future synchronizations.
+package dynamic
+
+import (
+	"fmt"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/run"
+)
+
+// Monitor watches a stream of per-barrier cost observations and flags drift
+// relative to a baseline expectation.
+type Monitor struct {
+	// Baseline is the expected per-barrier cost (e.g. the measured cost
+	// right after tuning).
+	Baseline float64
+	// Factor is the drift threshold: sustained costs above
+	// Factor × Baseline flag drift. Must be > 1.
+	Factor float64
+	// Window is the number of consecutive over-threshold observations
+	// required (debouncing transient noise).
+	Window int
+
+	over int
+}
+
+// NewMonitor returns a drift monitor. Typical values: factor 1.5, window 5.
+func NewMonitor(baseline, factor float64, window int) (*Monitor, error) {
+	if baseline <= 0 {
+		return nil, fmt.Errorf("dynamic: non-positive baseline %g", baseline)
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("dynamic: drift factor %g must exceed 1", factor)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("dynamic: window %d must be positive", window)
+	}
+	return &Monitor{Baseline: baseline, Factor: factor, Window: window}, nil
+}
+
+// Observe feeds one per-barrier cost sample and reports whether drift is now
+// established.
+func (m *Monitor) Observe(sample float64) bool {
+	if sample > m.Factor*m.Baseline {
+		m.over++
+	} else {
+		m.over = 0
+	}
+	return m.over >= m.Window
+}
+
+// Reset clears the drift state, e.g. after re-tuning.
+func (m *Monitor) Reset(newBaseline float64) {
+	m.Baseline = newBaseline
+	m.over = 0
+}
+
+// Profitable decides whether paying retuneOverhead now is amortised by the
+// expected improvement: it returns true when
+// horizon × (observed − candidate) > retuneOverhead, the §VIII criterion
+// that adaptation is "only worthwhile when the overhead could be amortized
+// over a sufficient number of subsequent synchronizations".
+func Profitable(observed, candidate, retuneOverhead float64, horizon int) bool {
+	if horizon <= 0 {
+		return false
+	}
+	gain := observed - candidate
+	if gain <= 0 {
+		return false
+	}
+	return float64(horizon)*gain > retuneOverhead
+}
+
+// Session manages one application's barrier across changing conditions.
+type Session struct {
+	// Probe is the re-profiling protocol (replicate mode keeps §VIII's
+	// "relatively inexpensive instrumentation" property).
+	Probe probe.Config
+	// Tune configures the composer.
+	Tune core.Options
+	// RetuneOverhead is the assumed cost of one re-profile + re-compose, in
+	// the same unit as the per-barrier costs (seconds of application time).
+	RetuneOverhead float64
+	// Horizon is the number of future synchronizations the application
+	// expects (the amortisation window).
+	Horizon int
+
+	current *core.Tuned
+	retunes int
+}
+
+// NewSession tunes an initial barrier on the world and returns the session.
+func NewSession(w *mpi.World, probeCfg probe.Config, tuneOpts core.Options, retuneOverhead float64, horizon int) (*Session, error) {
+	tuned, err := core.ProfileAndTune(w, probeCfg, tuneOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Probe:          probeCfg,
+		Tune:           tuneOpts,
+		RetuneOverhead: retuneOverhead,
+		Horizon:        horizon,
+		current:        tuned,
+	}, nil
+}
+
+// Current returns the active tuned barrier.
+func (s *Session) Current() *core.Tuned { return s.current }
+
+// Retunes returns how many times the session re-tuned.
+func (s *Session) Retunes() int { return s.retunes }
+
+// MaybeRetune re-profiles the (possibly changed) world, composes a candidate
+// barrier, and switches to it when the predicted improvement over the
+// observed cost amortises the overhead. It reports whether a switch
+// happened. The observed argument is the recent measured per-barrier cost of
+// the current barrier on the current conditions.
+func (s *Session) MaybeRetune(w *mpi.World, observed float64) (bool, error) {
+	candidate, err := core.ProfileAndTune(w, s.Probe, s.Tune)
+	if err != nil {
+		return false, err
+	}
+	// Predictions systematically under-estimate measured cost (they assume
+	// ready receivers in steady state); compare like with like by measuring
+	// the candidate once.
+	m, err := run.Measure(w, candidate.Func(), 2, 8)
+	if err != nil {
+		return false, err
+	}
+	if !Profitable(observed, m.Mean, s.RetuneOverhead, s.Horizon) {
+		return false, nil
+	}
+	s.current = candidate
+	s.retunes++
+	return true, nil
+}

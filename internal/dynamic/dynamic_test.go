@@ -1,0 +1,152 @@
+package dynamic
+
+import (
+	"testing"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/run"
+	"topobarrier/internal/topo"
+)
+
+func world(t testing.TB, pl topo.Placement, p int, seed uint64) *mpi.World {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(pl, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.NewWorld(f)
+}
+
+func probeCfg() probe.Config {
+	cfg := probe.Default()
+	cfg.Replicate = true
+	return cfg
+}
+
+func TestMonitorDebounces(t *testing.T) {
+	m, err := NewMonitor(100e-6, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two spikes then recovery: no drift.
+	if m.Observe(200e-6) || m.Observe(200e-6) {
+		t.Fatalf("drift flagged before window filled")
+	}
+	if m.Observe(100e-6) {
+		t.Fatalf("drift flagged on recovered sample")
+	}
+	// Three sustained spikes: drift.
+	m.Observe(200e-6)
+	m.Observe(200e-6)
+	if !m.Observe(200e-6) {
+		t.Fatalf("sustained drift not flagged")
+	}
+	m.Reset(200e-6)
+	if m.Observe(250e-6) {
+		t.Fatalf("reset did not clear state")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0, 1.5, 3); err == nil {
+		t.Fatalf("zero baseline accepted")
+	}
+	if _, err := NewMonitor(1, 1.0, 3); err == nil {
+		t.Fatalf("factor 1 accepted")
+	}
+	if _, err := NewMonitor(1, 2, 0); err == nil {
+		t.Fatalf("zero window accepted")
+	}
+}
+
+func TestProfitable(t *testing.T) {
+	// 10µs gain × 1000 barriers = 10ms > 5ms overhead: profitable.
+	if !Profitable(100e-6, 90e-6, 5e-3, 1000) {
+		t.Fatalf("clear win rejected")
+	}
+	// Same gain over 100 barriers = 1ms < 5ms: not profitable.
+	if Profitable(100e-6, 90e-6, 5e-3, 100) {
+		t.Fatalf("unamortised retune accepted")
+	}
+	// No gain: never profitable.
+	if Profitable(100e-6, 100e-6, 0, 1000) || Profitable(90e-6, 100e-6, 0, 1000) {
+		t.Fatalf("non-positive gain accepted")
+	}
+	if Profitable(100e-6, 1e-6, 1e-9, 0) {
+		t.Fatalf("zero horizon accepted")
+	}
+}
+
+func TestSessionRetunesAfterPlacementDrift(t *testing.T) {
+	const p = 24
+	before := world(t, topo.Block{}, p, 1)
+	sess, err := NewSession(before, probeCfg(), core.Options{}, 10e-3, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := run.Measure(before, sess.Current().Func(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scheduler moves the job: same ranks, round-robin placement.
+	after := world(t, topo.RoundRobin{}, p, 2)
+	stale, err := run.Measure(after, sess.Current().Func(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Mean < 1.3*base.Mean {
+		t.Fatalf("placement drift did not hurt the stale barrier: %g vs %g", stale.Mean, base.Mean)
+	}
+
+	mon, err := NewMonitor(base.Mean, 1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := false
+	for i := 0; i < 3; i++ {
+		drift = mon.Observe(stale.Mean)
+	}
+	if !drift {
+		t.Fatalf("monitor missed the drift")
+	}
+
+	switched, err := sess.MaybeRetune(after, stale.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !switched || sess.Retunes() != 1 {
+		t.Fatalf("session did not retune (switched=%v, retunes=%d)", switched, sess.Retunes())
+	}
+	fresh, err := run.Measure(after, sess.Current().Func(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Mean >= stale.Mean {
+		t.Fatalf("retuned barrier no better: %g vs stale %g", fresh.Mean, stale.Mean)
+	}
+}
+
+func TestSessionDeclinesUnprofitableRetune(t *testing.T) {
+	const p = 16
+	w := world(t, topo.Block{}, p, 3)
+	// Enormous retune overhead, tiny horizon: switching can never amortise.
+	sess, err := NewSession(w, probeCfg(), core.Options{}, 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := run.Measure(w, sess.Current().Func(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switched, err := sess.MaybeRetune(w, cur.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switched || sess.Retunes() != 0 {
+		t.Fatalf("unprofitable retune accepted")
+	}
+}

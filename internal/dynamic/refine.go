@@ -1,0 +1,53 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"topobarrier/internal/profile"
+	"topobarrier/internal/trace"
+)
+
+// RefineProfile folds observed per-message latencies from an execution trace
+// into a profile's O matrix by exponential moving average — the §VIII
+// "relatively inexpensive instrumentation to capture incremental cost
+// updates at run time", as opposed to a full re-profiling pass.
+//
+// Each traced latency contains the startup overhead plus a batch-position-
+// dependent number of L terms, which the trace cannot separate; the minimum
+// observed latency per link is therefore used as the estimate of O + L, and
+// the profile's own L entry is subtracted before blending. alpha is the EMA
+// weight of the new observation (0 < alpha ≤ 1). Both symmetric entries are
+// updated. It returns the number of link pairs refined.
+func RefineProfile(pf *profile.Profile, rec *trace.Recorder, alpha float64) (int, error) {
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("dynamic: EMA weight %g outside (0, 1]", alpha)
+	}
+	// Minimum observed latency per unordered pair.
+	type key struct{ a, b int }
+	min := map[key]float64{}
+	for _, e := range rec.Events {
+		if e.Src < 0 || e.Src >= pf.P || e.Dst < 0 || e.Dst >= pf.P || e.Src == e.Dst {
+			continue
+		}
+		k := key{e.Src, e.Dst}
+		if k.a > k.b {
+			k.a, k.b = k.b, k.a
+		}
+		lat := e.Arrived - e.Sent
+		if cur, ok := min[k]; !ok || lat < cur {
+			min[k] = lat
+		}
+	}
+	updated := 0
+	for k, lat := range min {
+		est := lat - pf.L.At(k.a, k.b)
+		if est < 0 {
+			est = 0
+		}
+		blend := func(old float64) float64 { return (1-alpha)*old + alpha*est }
+		pf.O.Set(k.a, k.b, blend(pf.O.At(k.a, k.b)))
+		pf.O.Set(k.b, k.a, pf.O.At(k.a, k.b))
+		updated++
+	}
+	return updated, nil
+}

@@ -1,0 +1,108 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/topo"
+	"topobarrier/internal/trace"
+)
+
+// slowedParams returns GigE parameters with the cross-node startup tripled,
+// modelling background load appearing on the interconnect.
+func slowedParams(seed uint64) fabric.Params {
+	p := fabric.GigEParams(seed)
+	l := p.Classes[topo.CrossNode]
+	l.Alpha *= 3
+	p.Classes[topo.CrossNode] = l
+	return p
+}
+
+func TestRefineProfileTracksDriftedLinks(t *testing.T) {
+	const p = 16
+	// Profile captured before the drift (oracle for determinism).
+	base, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := base.TrueProfile()
+	oldCross := pf.O.At(0, 1) // ranks 0,1 are on different nodes (round-robin)
+	if base.Class(0, 1) != topo.CrossNode {
+		t.Fatalf("test assumption broken: 0-1 not cross-node")
+	}
+
+	// The interconnect slows down; traces from real traffic observe it.
+	slowed, err := fabric.New(topo.QuadCluster(), topo.RoundRobin{}, p, slowedParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, rec := trace.NewTracedWorld(slowed)
+	for i := 0; i < 5; i++ {
+		if _, err := trace.RunOnce(w, run.ScheduleFunc(sched.Dissemination(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := RefineProfile(pf, rec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("no links refined")
+	}
+	newCross := pf.O.At(0, 1)
+	if newCross <= oldCross*1.2 {
+		t.Fatalf("cross-node estimate did not move toward drifted truth: %g -> %g", oldCross, newCross)
+	}
+	// Symmetry must be preserved.
+	if pf.O.At(0, 1) != pf.O.At(1, 0) {
+		t.Fatalf("refinement broke symmetry")
+	}
+	if err := pf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineProfileStationaryStaysPut(t *testing.T) {
+	const p = 8
+	base, err := fabric.QuadClusterFabric(topo.Block{}, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := base.TrueProfile()
+	before := pf.O.At(0, 7)
+	w, rec := trace.NewTracedWorld(base)
+	if _, err := trace.RunOnce(w, run.ScheduleFunc(sched.Tree(p))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RefineProfile(pf, rec, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	after := pf.O.At(0, 7)
+	// Same fabric: the refined estimate stays within noise of the original.
+	if math.Abs(after-before)/before > 0.5 {
+		t.Fatalf("stationary refinement drifted: %g -> %g", before, after)
+	}
+}
+
+func TestRefineProfileValidation(t *testing.T) {
+	base, err := fabric.QuadClusterFabric(topo.Block{}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := base.TrueProfile()
+	rec := &trace.Recorder{}
+	if _, err := RefineProfile(pf, rec, 0); err == nil {
+		t.Fatalf("alpha 0 accepted")
+	}
+	if _, err := RefineProfile(pf, rec, 1.5); err == nil {
+		t.Fatalf("alpha > 1 accepted")
+	}
+	n, err := RefineProfile(pf, rec, 0.5)
+	if err != nil || n != 0 {
+		t.Fatalf("empty trace refinement: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package fabric is the ground-truth communication cost model of the
+// simulated cluster — the stand-in for the physical interconnects of the
+// paper's two test systems.
+//
+// Each link class of the machine (shared-cache, same-socket, cross-socket,
+// cross-node) carries three cost parameters mirroring the paper's topological
+// model (§IV): Alpha, the startup overhead of one message (the off-diagonal
+// O entries); Beta, the per-byte transfer cost; and Lambda, the marginal cost
+// of adding one more message to a batch already being injected (the L
+// entries). A per-class log-normal noise factor models run-to-run variation.
+// The model is the *simulated hardware*: the tuner never reads it directly,
+// it only sees the estimates recovered by internal/probe, exactly as the
+// paper's method only sees benchmark results.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"topobarrier/internal/profile"
+	"topobarrier/internal/stats"
+	"topobarrier/internal/topo"
+)
+
+// Link holds the ground-truth cost parameters of one link class. All times
+// are in seconds; Beta is seconds per byte.
+type Link struct {
+	Alpha  float64 // startup overhead of one message
+	Beta   float64 // transfer cost per byte
+	Lambda float64 // marginal cost per extra message in a batch
+	Sigma  float64 // log-normal noise sigma applied multiplicatively
+}
+
+// Params parameterises a fabric.
+type Params struct {
+	// Classes maps every link class that can occur on the machine to its
+	// cost. Self entries are ignored (a rank does not message itself).
+	Classes map[topo.LinkClass]Link
+	// SelfOverhead is the ground truth for the paper's Oii parameter: the
+	// software cost of initiating a communication request that causes no
+	// transmission.
+	SelfOverhead float64
+	// SelfSigma is the log-normal noise on SelfOverhead.
+	SelfSigma float64
+	// NICOccupancy is the time a cross-node message occupies its source
+	// node's network interface (serialisation). Used only when the runtime
+	// enables congestion modelling; 0 disables it.
+	NICOccupancy float64
+	// DirectionSkew makes links asymmetric: messages travelling from a
+	// higher-numbered core to a lower-numbered one have their startup and
+	// batch-marginal costs multiplied by (1 + DirectionSkew). The paper
+	// assumes symmetry for simplicity but notes the asymmetric extension is
+	// trivial (§IV.A); this knob exercises that extension.
+	DirectionSkew float64
+	// Seed drives all noise. Identical seeds replay identical costs.
+	Seed uint64
+}
+
+// Fabric resolves per-rank message costs for one placed job: a machine spec,
+// a placement of P ranks onto cores, and the link cost parameters.
+type Fabric struct {
+	spec   topo.Spec
+	params Params
+	cores  []int // rank -> global core
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// New places p ranks on the machine using pl and returns the cost oracle for
+// that job.
+func New(spec topo.Spec, pl topo.Placement, p int, params Params) (*Fabric, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cores, err := pl.Assign(spec, p)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []topo.LinkClass{topo.CrossNode} {
+		if spec.Nodes > 1 {
+			if _, ok := params.Classes[c]; !ok {
+				return nil, fmt.Errorf("fabric: params missing required class %v for multi-node spec %q", c, spec.Name)
+			}
+		}
+	}
+	return &Fabric{
+		spec:   spec,
+		params: params,
+		cores:  cores,
+		rng:    stats.NewRNG(params.Seed),
+	}, nil
+}
+
+// P returns the number of ranks in the job.
+func (f *Fabric) P() int { return len(f.cores) }
+
+// Spec returns the machine description.
+func (f *Fabric) Spec() topo.Spec { return f.spec }
+
+// CoreOf returns the global core index rank r is pinned to.
+func (f *Fabric) CoreOf(r int) int {
+	f.checkRank(r)
+	return f.cores[r]
+}
+
+// NodeOf returns the node index rank r is pinned to.
+func (f *Fabric) NodeOf(r int) int {
+	return f.spec.CoreAt(f.CoreOf(r)).Node
+}
+
+// Class returns the link class between two ranks.
+func (f *Fabric) Class(src, dst int) topo.LinkClass {
+	f.checkRank(src)
+	f.checkRank(dst)
+	return f.spec.Classify(f.cores[src], f.cores[dst])
+}
+
+func (f *Fabric) checkRank(r int) {
+	if r < 0 || r >= len(f.cores) {
+		panic(fmt.Sprintf("fabric: rank %d out of range for %d-rank job", r, len(f.cores)))
+	}
+}
+
+func (f *Fabric) link(src, dst int) Link {
+	c := f.Class(src, dst)
+	l, ok := f.params.Classes[c]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no parameters for link class %v (ranks %d->%d)", c, src, dst))
+	}
+	if f.params.DirectionSkew > 0 && f.cores[src] > f.cores[dst] {
+		skew := 1 + f.params.DirectionSkew
+		l.Alpha *= skew
+		l.Lambda *= skew
+	}
+	return l
+}
+
+func (f *Fabric) noise(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.LogNorm(sigma)
+}
+
+// SendOverhead returns one noisy sample of the cost of starting a message of
+// the given size from src to dst — the ground truth behind the paper's Oij
+// plus the size-dependent transfer term. Startup jitter dominates in real
+// interconnects while achieved bandwidth is comparatively stable, so the
+// noise on the transfer term is a third of the startup sigma.
+func (f *Fabric) SendOverhead(src, dst, bytes int) float64 {
+	if src == dst {
+		return f.SelfOverhead(src)
+	}
+	l := f.link(src, dst)
+	cost := l.Alpha * f.noise(l.Sigma)
+	if bytes > 0 {
+		cost += l.Beta * float64(bytes) * f.noise(l.Sigma/3)
+	}
+	return cost
+}
+
+// BatchMarginal returns one noisy sample of the cost of appending one more
+// message from src to dst to a non-empty simultaneous send batch — the ground
+// truth behind the paper's Lij.
+func (f *Fabric) BatchMarginal(src, dst int) float64 {
+	if src == dst {
+		panic(fmt.Sprintf("fabric: BatchMarginal of rank %d to itself", src))
+	}
+	l := f.link(src, dst)
+	return l.Lambda * f.noise(l.Sigma)
+}
+
+// SelfOverhead returns one noisy sample of the cost of initiating a request
+// that causes no transmission — the ground truth behind the paper's Oii.
+func (f *Fabric) SelfOverhead(rank int) float64 {
+	f.checkRank(rank)
+	return f.params.SelfOverhead * f.noise(f.params.SelfSigma)
+}
+
+// NICOccupancy returns the source-NIC serialisation time of one cross-node
+// message of the given size, or 0 for intra-node traffic or when congestion
+// modelling is disabled.
+func (f *Fabric) NICOccupancy(src, dst, bytes int) float64 {
+	if f.params.NICOccupancy <= 0 || f.Class(src, dst) != topo.CrossNode {
+		return 0
+	}
+	l := f.link(src, dst)
+	return f.params.NICOccupancy + l.Beta*float64(bytes)
+}
+
+// TrueO returns the noise-free startup cost of a zero-byte message between
+// two ranks (diagonal: SelfOverhead). Tests compare profiled estimates
+// against this.
+func (f *Fabric) TrueO(src, dst int) float64 {
+	if src == dst {
+		return f.params.SelfOverhead
+	}
+	return f.link(src, dst).Alpha
+}
+
+// TrueL returns the noise-free batch-marginal cost between two ranks.
+func (f *Fabric) TrueL(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return f.link(src, dst).Lambda
+}
+
+// TrueProfile returns the noise-free topological profile of the placed job:
+// what a perfect profiler would measure. The adaptive pipeline normally uses
+// probed estimates; the oracle profile supports tests and the ablation that
+// separates model error from measurement error.
+func (f *Fabric) TrueProfile() *profile.Profile {
+	pf := profile.New(f.spec.Name+" (oracle)", len(f.cores))
+	for i := range f.cores {
+		for j := range f.cores {
+			pf.O.Set(i, j, f.TrueO(i, j))
+			pf.L.Set(i, j, f.TrueL(i, j))
+		}
+	}
+	return pf
+}

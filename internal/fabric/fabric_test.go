@@ -1,0 +1,292 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"topobarrier/internal/stats"
+	"topobarrier/internal/topo"
+)
+
+func quietParams(seed uint64) Params {
+	p := GigEParams(seed)
+	for c, l := range p.Classes {
+		l.Sigma = 0
+		p.Classes[c] = l
+	}
+	p.SelfSigma = 0
+	return p
+}
+
+func TestNewPlacesRanks(t *testing.T) {
+	f, err := QuadClusterFabric(topo.Block{}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.P() != 16 {
+		t.Fatalf("P() = %d", f.P())
+	}
+	if f.CoreOf(0) != 0 || f.CoreOf(15) != 15 {
+		t.Fatalf("block cores wrong: %d %d", f.CoreOf(0), f.CoreOf(15))
+	}
+	if f.NodeOf(7) != 0 || f.NodeOf(8) != 1 {
+		t.Fatalf("NodeOf wrong: %d %d", f.NodeOf(7), f.NodeOf(8))
+	}
+	if f.Spec().Name != topo.QuadCluster().Name {
+		t.Fatalf("Spec() = %q", f.Spec().Name)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := QuadClusterFabric(topo.Block{}, 100, 1); err == nil {
+		t.Fatalf("oversubscription accepted")
+	}
+	bad := topo.Spec{Nodes: 0, SocketsPerNode: 1, CoresPerSocket: 1}
+	if _, err := New(bad, topo.Block{}, 1, GigEParams(1)); err == nil {
+		t.Fatalf("invalid spec accepted")
+	}
+	// Multi-node spec without cross-node parameters must be rejected.
+	p := GigEParams(1)
+	delete(p.Classes, topo.CrossNode)
+	if _, err := New(topo.QuadCluster(), topo.Block{}, 2, p); err == nil {
+		t.Fatalf("missing cross-node class accepted")
+	}
+}
+
+func TestClassResolution(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.Block{}, 16, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		want topo.LinkClass
+	}{
+		{0, 1, topo.SharedCache},
+		{0, 2, topo.SameSocket},
+		{0, 4, topo.CrossSocket},
+		{0, 8, topo.CrossNode},
+	}
+	for _, c := range cases {
+		if got := f.Class(c.a, c.b); got != c.want {
+			t.Errorf("Class(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCostOrderingAcrossClasses(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.Block{}, 16, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oCache := f.SendOverhead(0, 1, 0)
+	oSocket := f.SendOverhead(0, 2, 0)
+	oCross := f.SendOverhead(0, 4, 0)
+	oNode := f.SendOverhead(0, 8, 0)
+	if !(oCache < oSocket && oSocket < oCross && oCross < oNode) {
+		t.Fatalf("overhead ordering violated: %g %g %g %g", oCache, oSocket, oCross, oNode)
+	}
+	// Inter-node dominates intra-node by a wide margin (the locality gap the
+	// method exploits).
+	if oNode < 10*oCross {
+		t.Fatalf("inter-node %g not ≫ cross-socket %g", oNode, oCross)
+	}
+}
+
+func TestOnChipOffChipFactorFour(t *testing.T) {
+	// The Figure 9 observation: L differs by ~4x between on-chip and
+	// off-chip pairs within a node.
+	f, err := New(topo.SingleNode(2, 4, 2), topo.Block{}, 8, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := f.BatchMarginal(0, 2)  // same socket, different cache pair
+	off := f.BatchMarginal(0, 4) // other socket
+	ratio := off / on
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("off-chip/on-chip L ratio = %g, want ~4 (Figure 9)", ratio)
+	}
+}
+
+func TestSendOverheadSizeDependence(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.Block{}, 16, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := f.SendOverhead(0, 8, 0)
+	big := f.SendOverhead(0, 8, 1<<20)
+	wantDelta := GigEParams(1).Classes[topo.CrossNode].Beta * float64(1<<20)
+	if math.Abs((big-small)-wantDelta) > 1e-12 {
+		t.Fatalf("size slope wrong: big-small = %g, want %g", big-small, wantDelta)
+	}
+}
+
+func TestTrueValuesMatchNoiseFreeSamples(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.RoundRobin{}, 22, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, 3}, {1, 2}, {5, 20}} {
+		s, d := pair[0], pair[1]
+		if got, want := f.SendOverhead(s, d, 0), f.TrueO(s, d); got != want {
+			t.Errorf("SendOverhead(%d,%d) = %g, want %g", s, d, got, want)
+		}
+		if got, want := f.BatchMarginal(s, d), f.TrueL(s, d); got != want {
+			t.Errorf("BatchMarginal(%d,%d) = %g, want %g", s, d, got, want)
+		}
+	}
+	if got, want := f.SelfOverhead(3), quietParams(1).SelfOverhead; got != want {
+		t.Errorf("SelfOverhead = %g, want %g", got, want)
+	}
+	if f.TrueL(4, 4) != 0 {
+		t.Errorf("TrueL self not 0")
+	}
+	if f.TrueO(4, 4) != quietParams(1).SelfOverhead {
+		t.Errorf("TrueO self != SelfOverhead")
+	}
+}
+
+func TestSelfSendUsesSelfOverhead(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.Block{}, 4, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SendOverhead(2, 2, 0); got != quietParams(1).SelfOverhead {
+		t.Fatalf("self send = %g, want SelfOverhead", got)
+	}
+}
+
+func TestNoiseIsReproducibleAndCentred(t *testing.T) {
+	a, err := QuadClusterFabric(topo.Block{}, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuadClusterFabric(topo.Block{}, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb []float64
+	for i := 0; i < 500; i++ {
+		sa = append(sa, a.SendOverhead(0, 8, 0))
+		sb = append(sb, b.SendOverhead(0, 8, 0))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	// Median of log-normal noise is 1, so sample median ~ Alpha.
+	alpha := GigEParams(42).Classes[topo.CrossNode].Alpha
+	if m := stats.Median(sa); math.Abs(m-alpha)/alpha > 0.05 {
+		t.Fatalf("noisy median %g too far from alpha %g", m, alpha)
+	}
+	if stats.StdDev(sa) == 0 {
+		t.Fatalf("no noise with nonzero sigma")
+	}
+}
+
+func TestNICOccupancy(t *testing.T) {
+	f, err := New(topo.QuadCluster(), topo.Block{}, 16, quietParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NICOccupancy(0, 1, 100) != 0 {
+		t.Fatalf("intra-node traffic occupies NIC")
+	}
+	occ := f.NICOccupancy(0, 8, 0)
+	if occ != GigEParams(1).NICOccupancy {
+		t.Fatalf("cross-node NIC occupancy = %g", occ)
+	}
+	if f.NICOccupancy(0, 8, 1000) <= occ {
+		t.Fatalf("NIC occupancy not size-dependent")
+	}
+	p := quietParams(1)
+	p.NICOccupancy = 0
+	f2, err := New(topo.QuadCluster(), topo.Block{}, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NICOccupancy(0, 8, 0) != 0 {
+		t.Fatalf("disabled congestion still reports occupancy")
+	}
+}
+
+func TestRankRangePanics(t *testing.T) {
+	f, err := QuadClusterFabric(topo.Block{}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []func(){
+		func() { f.CoreOf(4) },
+		func() { f.Class(0, 4) },
+		func() { f.SelfOverhead(-1) },
+		func() { f.BatchMarginal(2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHexClusterFabric(t *testing.T) {
+	f, err := HexClusterFabric(topo.RoundRobin{}, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.P() != 120 {
+		t.Fatalf("P() = %d", f.P())
+	}
+	// Round-robin over all 10 nodes: ranks 0 and 10 share node 0.
+	if f.NodeOf(0) != f.NodeOf(10) || f.NodeOf(0) == f.NodeOf(1) {
+		t.Fatalf("round-robin node mapping wrong: %d %d %d", f.NodeOf(0), f.NodeOf(10), f.NodeOf(1))
+	}
+}
+
+func BenchmarkSendOverhead(b *testing.B) {
+	f, err := QuadClusterFabric(topo.Block{}, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.SendOverhead(0, 63, 0)
+	}
+}
+
+func TestTrueProfileMatchesOracle(t *testing.T) {
+	f, err := QuadClusterFabric(topo.RoundRobin{}, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.TrueProfile()
+	if err := pf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if pf.O.At(i, j) != f.TrueO(i, j) || pf.L.At(i, j) != f.TrueL(i, j) {
+				t.Fatalf("oracle profile mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMissingClassPanics(t *testing.T) {
+	p := quietParams(1)
+	delete(p.Classes, topo.CrossSocket)
+	f, err := New(topo.QuadCluster(), topo.Block{}, 8, p)
+	if err != nil {
+		t.Fatal(err) // only CrossNode is mandatory at construction
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("missing class did not panic at use")
+		}
+	}()
+	f.SendOverhead(0, 4, 0) // cross-socket link with no parameters
+}

@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a self-contained SVG line chart in the style of
+// the paper's gnuplot figures: process count on the X axis, execution time
+// in seconds on the Y axis, one polyline per series with point markers and a
+// legend. Only the standard library is used; the output opens in any
+// browser.
+func (f *Figure) SVG(width, height int) string {
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	// Data ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMax := 0.0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if s.X[i] < xMin {
+				xMin = s.X[i]
+			}
+			if s.X[i] > xMax {
+				xMax = s.X[i]
+			}
+			if i < len(s.Y) && s.Y[i] > yMax {
+				yMax = s.Y[i]
+			}
+		}
+	}
+	if math.IsInf(xMin, 1) || yMax == 0 {
+		xMin, xMax, yMax = 0, 1, 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	yMax *= 1.05
+
+	toX := func(x float64) float64 { return float64(marginL) + (x-xMin)/(xMax-xMin)*plotW }
+	toY := func(y float64) float64 { return float64(marginT) + plotH - y/yMax*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14">%s — %s</text>`+"\n", marginL, escape(f.ID), escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH)
+
+	// Ticks: 5 on each axis, Y labelled in microseconds.
+	for t := 0; t <= 5; t++ {
+		xv := xMin + (xMax-xMin)*float64(t)/5
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			toX(xv), float64(marginT)+plotH, toX(xv), float64(marginT)+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%.0f</text>`+"\n",
+			toX(xv), float64(marginT)+plotH+18, xv)
+		yv := yMax * float64(t) / 5
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+			float64(marginL)-5, toY(yv), marginL, toY(yv))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%.0fµs</text>`+"\n",
+			float64(marginL)-8, toY(yv)+4, yv*1e6)
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle"># of processes</text>`+"\n",
+		float64(marginL)+plotW/2, height-8)
+
+	palette := []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085", "#2c3e50", "#7f8c8d"}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		lx := marginL + 10
+		ly := marginT + 8 + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

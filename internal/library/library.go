@@ -1,0 +1,178 @@
+// Package library stores tuned barriers on disk, indexed by platform
+// identity, so that applications can load a previously generated barrier at
+// start-up without re-profiling — the §VIII direction of "a library
+// implementation which would benefit unmodified application codes",
+// "stor[ing] the profile in a manner which can be efficiently indexed at
+// run-time".
+//
+// An entry couples the schedule with the profile it was tuned from, so a
+// loader can check that current conditions still match the stored
+// assumptions before trusting the barrier.
+package library
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+)
+
+// Library is a directory of tuned-barrier entries.
+type Library struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a library directory.
+func Open(dir string) (*Library, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	return &Library{dir: dir}, nil
+}
+
+// Entry identifies one stored barrier.
+type Entry struct {
+	// Platform names the machine and placement the barrier was tuned for.
+	Platform string `json:"platform"`
+	// P is the job size.
+	P int `json:"p"`
+	// PredictedCost is the cost estimate recorded at tuning time.
+	PredictedCost float64 `json:"predicted_cost"`
+}
+
+// envelope is the on-disk format.
+type envelope struct {
+	Entry    Entry            `json:"entry"`
+	Schedule *sched.Schedule  `json:"schedule"`
+	Profile  *profile.Profile `json:"profile"`
+}
+
+// key produces a stable file name for a platform/size pair.
+func key(platform string, p int) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(platform) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return fmt.Sprintf("%s-p%d.json", strings.Trim(b.String(), "-"), p)
+}
+
+// Store saves a tuned barrier under the given platform identity.
+func (l *Library) Store(platform string, tuned *core.Tuned) error {
+	env := envelope{
+		Entry: Entry{
+			Platform:      platform,
+			P:             tuned.Profile.P,
+			PredictedCost: tuned.PredictedCost(),
+		},
+		Schedule: tuned.Schedule(),
+		Profile:  tuned.Profile,
+	}
+	data, err := json.MarshalIndent(env, "", " ")
+	if err != nil {
+		return fmt.Errorf("library: %w", err)
+	}
+	path := filepath.Join(l.dir, key(platform, tuned.Profile.P))
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load retrieves a stored barrier for the platform/size pair, compiling it
+// to an executable plan. os.IsNotExist reports a missing entry.
+func (l *Library) Load(platform string, p int) (*run.Plan, *Entry, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, key(platform, p)))
+	if err != nil {
+		return nil, nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, nil, fmt.Errorf("library: decoding %s: %w", key(platform, p), err)
+	}
+	if env.Schedule == nil || env.Schedule.P != p {
+		return nil, nil, fmt.Errorf("library: entry %s holds schedule for %d ranks, want %d",
+			key(platform, p), env.Schedule.P, p)
+	}
+	plan, err := run.NewPlan(env.Schedule)
+	if err != nil {
+		return nil, nil, fmt.Errorf("library: stored schedule invalid: %w", err)
+	}
+	return plan, &env.Entry, nil
+}
+
+// LoadProfile retrieves the profile a stored barrier was tuned from, for
+// staleness checks against current conditions.
+func (l *Library) LoadProfile(platform string, p int) (*profile.Profile, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, key(platform, p)))
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	if env.Profile == nil {
+		return nil, fmt.Errorf("library: entry has no profile")
+	}
+	return env.Profile, nil
+}
+
+// GetOrTune loads the stored barrier for the platform, or — on a miss —
+// profiles the world, tunes one, stores it and returns it. The boolean
+// reports whether the entry came from the cache.
+func (l *Library) GetOrTune(w *mpi.World, platform string, probeCfg probe.Config, opts core.Options) (*run.Plan, bool, error) {
+	if plan, _, err := l.Load(platform, w.Size()); err == nil {
+		return plan, true, nil
+	} else if !os.IsNotExist(err) {
+		return nil, false, err
+	}
+	tuned, err := core.ProfileAndTune(w, probeCfg, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := l.Store(platform, tuned); err != nil {
+		return nil, false, err
+	}
+	return tuned.Plan, false, nil
+}
+
+// List enumerates the stored entries sorted by file name.
+func (l *Library) List() ([]Entry, error) {
+	files, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	var out []Entry
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, f.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var env envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			continue // skip foreign files
+		}
+		out = append(out, env.Entry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].P < out[j].P
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package library
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topobarrier/internal/core"
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/probe"
+	"topobarrier/internal/run"
+	"topobarrier/internal/topo"
+)
+
+func world(t testing.TB, p int, seed uint64) *mpi.World {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.NewWorld(f)
+}
+
+func probeCfg() probe.Config {
+	cfg := probe.Default()
+	cfg.Replicate = true
+	return cfg
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := world(t, 16, 1)
+	tuned, err := core.ProfileAndTune(w, probeCfg(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const platform = "Quad Cluster (round-robin)"
+	if err := lib.Store(platform, tuned); err != nil {
+		t.Fatal(err)
+	}
+	plan, entry, err := lib.Load(platform, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.P != 16 || entry.Platform != platform || entry.PredictedCost <= 0 {
+		t.Fatalf("entry = %+v", entry)
+	}
+	// The reloaded barrier must still synchronise.
+	if err := run.Validate(w, plan.Func(), 0.5, []int{0, 15}); err != nil {
+		t.Fatal(err)
+	}
+	// And the stored profile must survive for staleness checks.
+	pf, err := lib.LoadProfile(platform, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.P != 16 {
+		t.Fatalf("stored profile P = %d", pf.P)
+	}
+}
+
+func TestLoadMissReportsNotExist(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lib.Load("nowhere", 8); !os.IsNotExist(err) {
+		t.Fatalf("miss error = %v", err)
+	}
+}
+
+func TestGetOrTuneCaches(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := world(t, 12, 2)
+	plan1, cached1, err := lib.GetOrTune(w, "quad-rr", probeCfg(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached1 {
+		t.Fatalf("first call claimed a cache hit")
+	}
+	plan2, cached2, err := lib.GetOrTune(w, "quad-rr", probeCfg(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached2 {
+		t.Fatalf("second call missed the cache")
+	}
+	if plan1.Name != plan2.Name || plan1.Stages != plan2.Stages {
+		t.Fatalf("cached plan differs: %+v vs %+v", plan1, plan2)
+	}
+}
+
+func TestListEntries(t *testing.T) {
+	dir := t.TempDir()
+	lib, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{8, 12} {
+		w := world(t, p, 3)
+		tuned, err := core.ProfileAndTune(w, probeCfg(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Store("quad", tuned); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A foreign file must be skipped, not break listing.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := lib.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].P != 8 || entries[1].P != 12 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestKeySanitisation(t *testing.T) {
+	a := key("8x dual quad-core Xeon E5405, round-robin", 22)
+	b := key("8X DUAL quad-CORE Xeon e5405, ROUND robin", 22)
+	if a != b {
+		t.Fatalf("keys differ for equivalent platforms: %q vs %q", a, b)
+	}
+	if filepath.Base(a) != a {
+		t.Fatalf("key escapes directory: %q", a)
+	}
+}
+
+func TestLoadRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	lib, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key("x", 4))
+	if err := os.WriteFile(path, []byte(`{"entry":{"p":4},"schedule":{"name":"bad","p":4,"stages":[]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lib.Load("x", 4); err == nil {
+		t.Fatalf("non-synchronising stored schedule accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lib.Load("x", 4); err == nil {
+		t.Fatalf("corrupt entry accepted")
+	}
+}
+
+func TestOpenFailsOnFileCollision(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatalf("opened a library inside a regular file")
+	}
+}
+
+func TestLoadProfileErrors(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.LoadProfile("missing", 4); err == nil {
+		t.Fatalf("missing profile accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package mat provides the small dense matrix kernels used by the barrier
+// models: boolean incidence matrices over the (OR, AND) semiring, which encode
+// per-stage signal patterns, and dense float64 matrices, which hold pairwise
+// cost profiles.
+//
+// Boolean matrices are stored as bitset rows so that the knowledge recurrence
+// of the paper (Eq. 3: Ka = Ka-1 + Ka-1·Sa) runs in O(P²·P/64) per stage.
+package mat
+
+import (
+	"fmt"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bool is a dense P×P boolean matrix stored as one bitset per row.
+// Bool{} is not usable; construct with NewBool or Identity.
+type Bool struct {
+	n     int
+	words int      // words per row
+	rows  []uint64 // n * words
+}
+
+// NewBool returns an n×n all-false boolean matrix.
+func NewBool(n int) *Bool {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: NewBool with negative size %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	return &Bool{n: n, words: w, rows: make([]uint64, n*w)}
+}
+
+// Identity returns the n×n identity matrix over the boolean semiring.
+func Identity(n int) *Bool {
+	m := NewBool(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// BoolFromRows builds a matrix from a slice of row slices. All rows must have
+// length len(rows). It is intended for tests and literals.
+func BoolFromRows(rows [][]bool) *Bool {
+	n := len(rows)
+	m := NewBool(n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic(fmt.Sprintf("mat: BoolFromRows row %d has %d entries, want %d", i, len(r), n))
+		}
+		for j, v := range r {
+			if v {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// N returns the dimension of the matrix.
+func (m *Bool) N() int { return m.n }
+
+func (m *Bool) check(i, j int) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %d×%d matrix", i, j, m.n, m.n))
+	}
+}
+
+// At reports whether entry (i, j) is set.
+func (m *Bool) At(i, j int) bool {
+	m.check(i, j)
+	return m.rows[i*m.words+j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// Set assigns entry (i, j).
+func (m *Bool) Set(i, j int, v bool) {
+	m.check(i, j)
+	w := &m.rows[i*m.words+j/wordBits]
+	bit := uint64(1) << (uint(j) % wordBits)
+	if v {
+		*w |= bit
+	} else {
+		*w &^= bit
+	}
+}
+
+// Row returns the column indices set in row i, in increasing order.
+func (m *Bool) Row(i int) []int {
+	m.check(i, 0)
+	var out []int
+	base := i * m.words
+	for w := 0; w < m.words; w++ {
+		word := m.rows[base+w]
+		for word != 0 {
+			b := trailingZeros(word)
+			out = append(out, w*wordBits+b)
+			word &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Col returns the row indices i for which entry (i, j) is set, increasing.
+func (m *Bool) Col(j int) []int {
+	m.check(0, j)
+	var out []int
+	for i := 0; i < m.n; i++ {
+		if m.At(i, j) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Bool) Clone() *Bool {
+	c := NewBool(m.n)
+	copy(c.rows, m.rows)
+	return c
+}
+
+// Equal reports whether m and o have the same dimension and entries.
+func (m *Bool) Equal(o *Bool) bool {
+	if m.n != o.n {
+		return false
+	}
+	for k := range m.rows {
+		if m.rows[k] != o.rows[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the matrix has no set entries.
+func (m *Bool) IsZero() bool {
+	for _, w := range m.rows {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllSet reports whether every entry is set (the Eq. 3 barrier condition).
+func (m *Bool) AllSet() bool {
+	return m.Count() == m.n*m.n
+}
+
+// Count returns the number of set entries.
+func (m *Bool) Count() int {
+	c := 0
+	for _, w := range m.rows {
+		c += popcount(w)
+	}
+	return c
+}
+
+// Or sets m |= o element-wise and returns m.
+func (m *Bool) Or(o *Bool) *Bool {
+	if m.n != o.n {
+		panic(fmt.Sprintf("mat: Or dimension mismatch %d vs %d", m.n, o.n))
+	}
+	for k := range m.rows {
+		m.rows[k] |= o.rows[k]
+	}
+	return m
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Bool) T() *Bool {
+	t := NewBool(m.n)
+	for i := 0; i < m.n; i++ {
+		for _, j := range m.Row(i) {
+			t.Set(j, i, true)
+		}
+	}
+	return t
+}
+
+// Mul returns the boolean semiring product m·o: the result has entry (i, j)
+// set iff there is an index k with m[i][k] and o[k][j].
+func (m *Bool) Mul(o *Bool) *Bool {
+	if m.n != o.n {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d vs %d", m.n, o.n))
+	}
+	r := NewBool(m.n)
+	for i := 0; i < m.n; i++ {
+		dst := r.rows[i*r.words : (i+1)*r.words]
+		for _, k := range m.Row(i) {
+			src := o.rows[k*o.words : (k+1)*o.words]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+	return r
+}
+
+// Propagate computes one step of the paper's knowledge recurrence
+// (Eq. 3): it returns K + K·S, where + and · are boolean semiring operations.
+// K[i][j] means "rank j knows that rank i has arrived"; multiplying by the
+// stage matrix S spreads each rank's knowledge along the signals it sends.
+func Propagate(k, s *Bool) *Bool {
+	if k.n != s.n {
+		panic(fmt.Sprintf("mat: Propagate dimension mismatch %d vs %d", k.n, s.n))
+	}
+	// (K + K·S)[i] = K[i] | OR_{m: K[i][m]} S[m].
+	r := k.Clone()
+	for i := 0; i < k.n; i++ {
+		dst := r.rows[i*r.words : (i+1)*r.words]
+		for _, m := range k.Row(i) {
+			src := s.rows[m*s.words : (m+1)*s.words]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+	return r
+}
+
+// String renders the matrix as rows of 0/1 characters, suitable for tests and
+// small stage dumps (as in the paper's Figures 2-4).
+func (m *Bool) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if m.At(i, j) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+			if j+1 < m.n {
+				b.WriteByte(' ')
+			}
+		}
+		if i+1 < m.n {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight population count; avoids math/bits to keep the kernel
+	// self-contained (and identical on all platforms).
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+func trailingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,325 @@
+package mat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBoolStartsEmpty(t *testing.T) {
+	m := NewBool(7)
+	if m.N() != 7 {
+		t.Fatalf("N() = %d, want 7", m.N())
+	}
+	if !m.IsZero() {
+		t.Fatalf("new matrix is not zero")
+	}
+	if m.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", m.Count())
+	}
+}
+
+func TestBoolSetAtRoundTrip(t *testing.T) {
+	m := NewBool(70) // spans two words per row
+	coords := [][2]int{{0, 0}, {0, 63}, {0, 64}, {3, 69}, {69, 0}, {42, 42}}
+	for _, c := range coords {
+		m.Set(c[0], c[1], true)
+	}
+	for _, c := range coords {
+		if !m.At(c[0], c[1]) {
+			t.Errorf("At(%d,%d) = false after Set", c[0], c[1])
+		}
+	}
+	if m.Count() != len(coords) {
+		t.Fatalf("Count() = %d, want %d", m.Count(), len(coords))
+	}
+	m.Set(0, 64, false)
+	if m.At(0, 64) {
+		t.Fatalf("At(0,64) still true after clearing")
+	}
+	if m.Count() != len(coords)-1 {
+		t.Fatalf("Count() = %d after clear, want %d", m.Count(), len(coords)-1)
+	}
+}
+
+func TestBoolOutOfRangePanics(t *testing.T) {
+	m := NewBool(4)
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			m.At(c[0], c[1])
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != (i == j) {
+				t.Fatalf("Identity At(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRowAndCol(t *testing.T) {
+	m := NewBool(66)
+	m.Set(1, 0, true)
+	m.Set(1, 64, true)
+	m.Set(1, 65, true)
+	m.Set(5, 64, true)
+	got := m.Row(1)
+	want := []int{0, 64, 65}
+	if len(got) != len(want) {
+		t.Fatalf("Row(1) = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Row(1) = %v, want %v", got, want)
+		}
+	}
+	col := m.Col(64)
+	if len(col) != 2 || col[0] != 1 || col[1] != 5 {
+		t.Fatalf("Col(64) = %v, want [1 5]", col)
+	}
+	if r := m.Row(0); len(r) != 0 {
+		t.Fatalf("Row(0) = %v, want empty", r)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := BoolFromRows([][]bool{
+		{false, true, false},
+		{false, false, true},
+		{true, false, false},
+	})
+	tt := m.T().T()
+	if !tt.Equal(m) {
+		t.Fatalf("double transpose differs:\n%v\nvs\n%v", tt, m)
+	}
+	tr := m.T()
+	if !tr.At(1, 0) || !tr.At(2, 1) || !tr.At(0, 2) {
+		t.Fatalf("transpose entries wrong:\n%v", tr)
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	a := BoolFromRows([][]bool{
+		{true, false, true, false},
+		{false, false, false, false},
+		{false, true, false, true},
+		{true, true, true, true},
+	})
+	b := BoolFromRows([][]bool{
+		{false, true, false, false},
+		{true, false, false, false},
+		{false, false, false, true},
+		{false, false, true, false},
+	})
+	got := a.Mul(b)
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := false
+			for k := 0; k < n; k++ {
+				if a.At(i, k) && b.At(k, j) {
+					want = true
+				}
+			}
+			if got.At(i, j) != want {
+				t.Fatalf("Mul At(%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := NewBool(9)
+	m.Set(0, 8, true)
+	m.Set(4, 4, true)
+	m.Set(7, 2, true)
+	id := Identity(9)
+	if !m.Mul(id).Equal(m) {
+		t.Fatalf("m·I != m")
+	}
+	if !id.Mul(m).Equal(m) {
+		t.Fatalf("I·m != m")
+	}
+}
+
+func TestOrAndClone(t *testing.T) {
+	a := NewBool(3)
+	a.Set(0, 1, true)
+	b := NewBool(3)
+	b.Set(2, 2, true)
+	c := a.Clone()
+	c.Or(b)
+	if !c.At(0, 1) || !c.At(2, 2) {
+		t.Fatalf("Or missing entries:\n%v", c)
+	}
+	if a.At(2, 2) {
+		t.Fatalf("Or mutated the clone source")
+	}
+}
+
+func TestPropagateLinearBarrierKnowledge(t *testing.T) {
+	// The 4-rank linear barrier of the paper's Figure 2: ranks 1..3 signal
+	// rank 0, then rank 0 signals everyone (transpose). After both stages all
+	// knowledge entries must be set (Eq. 3 barrier condition).
+	s0 := NewBool(4)
+	for i := 1; i < 4; i++ {
+		s0.Set(i, 0, true)
+	}
+	s1 := s0.T()
+	k := Propagate(Identity(4), s0)
+	// After stage 0, rank 0 knows all arrivals.
+	for i := 0; i < 4; i++ {
+		if !k.At(i, 0) {
+			t.Fatalf("rank 0 does not know arrival of %d after stage 0:\n%v", i, k)
+		}
+	}
+	if k.AllSet() {
+		t.Fatalf("knowledge complete after arrival stage only")
+	}
+	k = Propagate(k, s1)
+	if !k.AllSet() {
+		t.Fatalf("linear barrier knowledge incomplete:\n%v", k)
+	}
+}
+
+func TestPropagateWithoutSignalsIsNoop(t *testing.T) {
+	k := Identity(6)
+	k2 := Propagate(k, NewBool(6))
+	if !k2.Equal(k) {
+		t.Fatalf("propagating the zero stage changed knowledge")
+	}
+}
+
+func TestAllSet(t *testing.T) {
+	m := NewBool(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, true)
+		}
+	}
+	if !m.AllSet() {
+		t.Fatalf("full matrix not AllSet")
+	}
+	m.Set(1, 2, false)
+	if m.AllSet() {
+		t.Fatalf("matrix with hole reported AllSet")
+	}
+}
+
+func TestBoolString(t *testing.T) {
+	m := NewBool(2)
+	m.Set(0, 1, true)
+	want := "0 1\n0 0"
+	if m.String() != want {
+		t.Fatalf("String() = %q, want %q", m.String(), want)
+	}
+}
+
+func TestBoolFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ragged BoolFromRows did not panic")
+		}
+	}()
+	BoolFromRows([][]bool{{true}, {true, false}})
+}
+
+// Property: transpose preserves the entry count, and (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestQuickTransposeProductLaw(t *testing.T) {
+	f := func(seed uint32) bool {
+		a := randBool(int(seed%5)+2, uint64(seed)*2654435761+1)
+		b := randBool(a.N(), uint64(seed)*0x9e3779b97f4a7c15+7)
+		left := a.Mul(b).T()
+		right := b.T().Mul(a.T())
+		return left.Equal(right) && a.T().Count() == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Propagate is monotone (never clears knowledge) and idempotent on
+// a saturated matrix.
+func TestQuickPropagateMonotone(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int(seed%6) + 2
+		s := randBool(n, uint64(seed)+3)
+		k := Identity(n)
+		next := Propagate(k, s)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if k.At(i, j) && !next.At(i, j) {
+					return false
+				}
+			}
+		}
+		full := NewBool(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				full.Set(i, j, true)
+			}
+		}
+		return Propagate(full, s).Equal(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randBool(n int, seed uint64) *Bool {
+	m := NewBool(n)
+	x := seed
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if x&3 == 0 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+func TestPopcountTrailingZeros(t *testing.T) {
+	if popcount(0) != 0 || popcount(^uint64(0)) != 64 || popcount(0b1011) != 3 {
+		t.Fatalf("popcount wrong")
+	}
+	if trailingZeros(0) != 64 || trailingZeros(1) != 0 || trailingZeros(0b1000) != 3 {
+		t.Fatalf("trailingZeros wrong")
+	}
+}
+
+func BenchmarkPropagate64(b *testing.B) {
+	s := randBool(64, 11)
+	k := Identity(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k = Propagate(Identity(64), s)
+	}
+	if k.N() != 64 {
+		b.Fatal("unexpected")
+	}
+}
+
+func BenchmarkBoolMul128(b *testing.B) {
+	x := randBool(128, 5)
+	y := randBool(128, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+var _ = strings.TrimSpace // keep strings imported if dumps are removed

@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseSetAt(t *testing.T) {
+	m := NewDense(3)
+	m.Set(0, 2, 1.5)
+	m.Add(0, 2, 0.25)
+	if got := m.At(0, 2); got != 1.75 {
+		t.Fatalf("At(0,2) = %v, want 1.75", got)
+	}
+	if m.At(2, 0) != 0 {
+		t.Fatalf("untouched entry nonzero")
+	}
+}
+
+func TestDenseFromRows(t *testing.T) {
+	m := DenseFromRows([][]float64{{0, 1}, {2, 0}})
+	if m.At(0, 1) != 1 || m.At(1, 0) != 2 {
+		t.Fatalf("DenseFromRows entries wrong: %v", m)
+	}
+}
+
+func TestDenseFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ragged DenseFromRows did not panic")
+		}
+	}()
+	DenseFromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	m := NewDense(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestSub(t *testing.T) {
+	m := DenseFromRows([][]float64{
+		{0, 1, 2, 3},
+		{10, 0, 12, 13},
+		{20, 21, 0, 23},
+		{30, 31, 32, 0},
+	})
+	s := m.Sub([]int{1, 3})
+	if s.N() != 2 {
+		t.Fatalf("Sub size = %d, want 2", s.N())
+	}
+	if s.At(0, 0) != 0 || s.At(0, 1) != 13 || s.At(1, 0) != 31 || s.At(1, 1) != 0 {
+		t.Fatalf("Sub entries wrong:\n%v", s)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := DenseFromRows([][]float64{{0, 4}, {2, 0}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize wrong:\n%v", m)
+	}
+}
+
+func TestMaxMinOffDiag(t *testing.T) {
+	m := DenseFromRows([][]float64{
+		{99, 2, 5},
+		{1, 99, 4},
+		{3, 6, 99},
+	})
+	if got := m.MaxOffDiag(); got != 6 {
+		t.Fatalf("MaxOffDiag = %v, want 6 (diagonal must be ignored)", got)
+	}
+	if got := m.MinOffDiag(); got != 1 {
+		t.Fatalf("MinOffDiag = %v, want 1", got)
+	}
+	if NewDense(1).MaxOffDiag() != 0 {
+		t.Fatalf("MaxOffDiag of 1×1 not 0")
+	}
+}
+
+func TestScaleClone(t *testing.T) {
+	m := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone().Scale(2)
+	if c.At(1, 1) != 8 || m.At(1, 1) != 4 {
+		t.Fatalf("Scale/Clone interaction wrong")
+	}
+}
+
+// Property: Symmetrize is idempotent and preserves the average of entry pairs.
+func TestQuickSymmetrizeIdempotent(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) {
+			return true
+		}
+		m := DenseFromRows([][]float64{{a, b}, {c, d}})
+		m.Symmetrize()
+		once := m.Clone()
+		m.Symmetrize()
+		return m.At(0, 1) == once.At(0, 1) && m.At(1, 0) == m.At(0, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseString(t *testing.T) {
+	m := DenseFromRows([][]float64{{0, 1.5}, {2, 0}})
+	want := "0 1.5\n2 0"
+	if m.String() != want {
+		t.Fatalf("String() = %q, want %q", m.String(), want)
+	}
+}

@@ -1,0 +1,312 @@
+package mpi
+
+import "fmt"
+
+// Comm is a rank's handle to the job, valid only inside the body passed to
+// World.Run and only on that rank's goroutine.
+type Comm struct {
+	r *run
+	p *proc
+}
+
+// Rank returns the calling rank.
+func (c *Comm) Rank() int { return c.p.rank }
+
+// Size returns the number of ranks in the job.
+func (c *Comm) Size() int { return len(c.r.procs) }
+
+// Wtime returns the current virtual time in seconds.
+func (c *Comm) Wtime() float64 { return c.r.q.Now() }
+
+// reqKind distinguishes send and receive requests.
+type reqKind int
+
+const (
+	sendReq reqKind = iota
+	recvReq
+)
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	kind  reqKind
+	owner int
+	peer  int // destination, or source (possibly AnySource)
+	tag   int
+	bytes int
+	sync  bool // synchronized send (Issend)
+
+	done        bool
+	completedAt float64
+
+	// Matched source and tag, filled for completed receives.
+	Src, Tag int
+}
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done }
+
+// CompletedAt returns the virtual completion time; valid once Done.
+func (q *Request) CompletedAt() float64 { return q.completedAt }
+
+func (c *Comm) checkPeer(peer int, wild bool) {
+	if wild && peer == AnySource {
+		return
+	}
+	if peer < 0 || peer >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d addressed invalid peer %d (size %d)", c.p.rank, peer, c.Size()))
+	}
+}
+
+// Issend posts a synchronized nonblocking send of bytes payload to dst: the
+// returned request completes only once the receiver has matched the message.
+// This is the operation the paper's barrier executor issues for every signal.
+func (c *Comm) Issend(dst, tag, bytes int) *Request {
+	return c.send(dst, tag, bytes, true)
+}
+
+// Isend posts an eager nonblocking send; the request completes when the
+// message arrives at the destination, matched or not.
+func (c *Comm) Isend(dst, tag, bytes int) *Request {
+	return c.send(dst, tag, bytes, false)
+}
+
+func (c *Comm) send(dst, tag, bytes int, sync bool) *Request {
+	c.checkPeer(dst, false)
+	if dst == c.p.rank {
+		panic(fmt.Sprintf("mpi: rank %d sending to itself", dst))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpi: negative message size %d", bytes))
+	}
+	r, p := c.r, c.p
+	fab := r.world.fab
+	now := r.q.Now()
+
+	req := &Request{kind: sendReq, owner: p.rank, peer: dst, tag: tag, bytes: bytes, sync: sync}
+
+	// Eq. 2: when the receiver is already waiting, the per-message overhead
+	// is the software initiation cost Oii rather than the full targeting
+	// overhead Oij.
+	var base float64
+	if r.hasPostedMatch(dst, p.rank, tag) {
+		base = fab.SelfOverhead(p.rank)
+	} else {
+		base = fab.SendOverhead(p.rank, dst, bytes)
+	}
+	p.batchCount++
+	p.batchLat += fab.BatchMarginal(p.rank, dst)
+	arrival := now + base + p.batchLat
+
+	// Optional congestion: cross-node messages serialise through the source
+	// node's NIC.
+	if r.world.congestion {
+		if occ := fab.NICOccupancy(p.rank, dst, bytes); occ > 0 {
+			node := fab.NodeOf(p.rank)
+			depart := max64(now, r.nicFree[node])
+			r.nicFree[node] = depart + occ
+			arrival = max64(arrival, depart+occ+base)
+		}
+	}
+
+	m := &inMsg{src: p.rank, tag: tag, bytes: bytes, arrival: arrival, sreq: req}
+	sentAt := now
+	r.q.Schedule(arrival, func() { r.deliver(dst, m, sentAt) })
+	return req
+}
+
+// Irecv posts a nonblocking receive matching the given source and tag
+// (AnySource / AnyTag act as wildcards). On completion the request's Src and
+// Tag fields hold the matched envelope.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.checkPeer(src, true)
+	r, p := c.r, c.p
+	req := &Request{kind: recvReq, owner: p.rank, peer: src, tag: tag}
+
+	// Check messages that already arrived unmatched.
+	for i, m := range p.unexpected {
+		if envelopeMatches(req, m.src, m.tag) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			now := r.q.Now()
+			req.complete(now, m.src, m.tag)
+			if m.sreq != nil && !m.sreq.done {
+				// The synchronized sender learns of the match now; complete
+				// (and possibly wake) it from scheduler context.
+				sreq := m.sreq
+				r.q.Schedule(now, func() { r.completeAndWake(sreq, now, -1, -1) })
+			}
+			return req
+		}
+	}
+	p.posted = append(p.posted, req)
+	return req
+}
+
+// Wait blocks until every given request has completed. Nil requests are
+// ignored.
+func (c *Comm) Wait(reqs ...*Request) {
+	live := reqs[:0:0]
+	for _, q := range reqs {
+		if q == nil {
+			continue
+		}
+		if q.owner != c.p.rank {
+			panic(fmt.Sprintf("mpi: rank %d waiting on rank %d's request", c.p.rank, q.owner))
+		}
+		live = append(live, q)
+	}
+	for !allDone(live) {
+		c.p.waiting = live
+		c.p.park(c.r)
+	}
+	c.p.waiting = nil
+	// A completed wait ends the current simultaneous send batch even when no
+	// blocking was needed.
+	c.p.batchCount = 0
+	c.p.batchLat = 0
+}
+
+// Send is a blocking synchronized send (Issend + Wait).
+func (c *Comm) Send(dst, tag, bytes int) {
+	c.Wait(c.Issend(dst, tag, bytes))
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Src, Tag int
+}
+
+// Recv is a blocking receive (Irecv + Wait).
+func (c *Comm) Recv(src, tag int) Status {
+	q := c.Irecv(src, tag)
+	c.Wait(q)
+	return Status{Src: q.Src, Tag: q.Tag}
+}
+
+// Compute advances the calling rank's local time by seconds without
+// communicating; it models local work and the delay injection of the paper's
+// synchronization validation (§VI).
+func (c *Comm) Compute(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("mpi: Compute(%g)", seconds))
+	}
+	if seconds == 0 {
+		return
+	}
+	p, r := c.p, c.r
+	until := r.q.Now() + seconds
+	p.sleeping = true
+	r.q.Schedule(until, func() {
+		p.sleeping = false
+		r.wake(p)
+	})
+	for p.sleeping {
+		p.park(r)
+	}
+}
+
+// NoopInitiate models initiating a communication request that ultimately
+// causes no transmission; its cost is the paper's Oii parameter. The probe
+// package measures it the way the paper does (§IV.A).
+func (c *Comm) NoopInitiate() {
+	c.Compute(c.r.world.fab.SelfOverhead(c.p.rank))
+}
+
+func allDone(reqs []*Request) bool {
+	for _, q := range reqs {
+		if !q.done {
+			return false
+		}
+	}
+	return true
+}
+
+func envelopeMatches(req *Request, src, tag int) bool {
+	return (req.peer == AnySource || req.peer == src) &&
+		(req.tag == AnyTag || req.tag == tag)
+}
+
+func (q *Request) complete(t float64, src, tag int) {
+	q.done = true
+	q.completedAt = t
+	if q.kind == recvReq {
+		q.Src, q.Tag = src, tag
+	}
+}
+
+// hasPostedMatch reports whether dst currently has a receive posted that a
+// message (src, tag) would match.
+func (r *run) hasPostedMatch(dst, src, tag int) bool {
+	for _, q := range r.procs[dst].posted {
+		if envelopeMatches(q, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver runs at a message's arrival time (scheduler context): match it
+// against posted receives or queue it as unexpected.
+func (r *run) deliver(dst int, m *inMsg, sentAt float64) {
+	now := r.q.Now()
+	if fn := r.world.tracer; fn != nil {
+		fn(TraceEvent{Src: m.src, Dst: dst, Tag: m.tag, Bytes: m.bytes, Sent: sentAt, Arrived: now})
+	}
+	dp := r.procs[dst]
+	for i, q := range dp.posted {
+		if envelopeMatches(q, m.src, m.tag) {
+			dp.posted = append(dp.posted[:i], dp.posted[i+1:]...)
+			r.completeAndWake(q, now, m.src, m.tag)
+			r.completeAndWake(m.sreq, now, -1, -1)
+			return
+		}
+	}
+	dp.unexpected = append(dp.unexpected, m)
+	if !m.sreq.sync {
+		// Eager sends complete on arrival even when unmatched.
+		r.completeAndWake(m.sreq, now, -1, -1)
+		m.sreq = nil
+	}
+}
+
+// completeAndWake completes a request and wakes its owner if the owner is
+// parked waiting on a now-fully-complete set. Scheduler context only.
+func (r *run) completeAndWake(q *Request, t float64, src, tag int) {
+	if q.done {
+		return
+	}
+	q.complete(t, src, tag)
+	p := r.procs[q.owner]
+	if p.waiting != nil && allDone(p.waiting) {
+		p.waiting = nil
+		r.wake(p)
+	}
+}
+
+// Test reports whether the request has completed, without blocking. Unlike
+// Wait it never parks the caller, so it supports polling-style algorithms;
+// note that in virtual time a request can only progress while the caller is
+// parked, so a pure busy-poll loop without intervening Compute or Wait calls
+// will spin forever.
+func (c *Comm) Test(q *Request) bool {
+	if q == nil {
+		return true
+	}
+	if q.owner != c.p.rank {
+		panic(fmt.Sprintf("mpi: rank %d testing rank %d's request", c.p.rank, q.owner))
+	}
+	return q.done
+}
+
+// Iprobe reports whether a message matching (src, tag) has arrived but not
+// yet been received; wildcards apply as in Irecv. It does not consume the
+// message.
+func (c *Comm) Iprobe(src, tag int) bool {
+	c.checkPeer(src, true)
+	probe := &Request{kind: recvReq, owner: c.p.rank, peer: src, tag: tag}
+	for _, m := range c.p.unexpected {
+		if envelopeMatches(probe, m.src, m.tag) {
+			return true
+		}
+	}
+	return false
+}

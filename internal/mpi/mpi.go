@@ -1,0 +1,237 @@
+// Package mpi implements the message-passing substrate the barriers execute
+// on: a deterministic, virtual-time runtime with MPI-like point-to-point
+// semantics, simulating a heterogeneous cluster described by a fabric cost
+// model.
+//
+// Each rank of a job runs as a goroutine, but goroutines execute one at a
+// time under a cooperative discrete-event scheduler, so every run is
+// reproducible. Virtual time advances only through message costs drawn from
+// the fabric and through explicit Compute calls.
+//
+// The timing model mirrors the paper's topological model (§IV):
+//
+//   - A send batch is the set of sends a rank issues without blocking in
+//     between. Message k of a batch (0-based) arrives at
+//     T + base_k + Σ_{l≤k} L(src, dst_l), where base_k is O(src, dst_k) — or
+//     Oii when the receiver has already posted a matching receive, which
+//     reproduces the paper's Eq. 2 ready-receiver case — and L is the
+//     fabric's batch-marginal cost. The batch as a whole therefore costs
+//     max-overhead-plus-sum-of-latencies, the paper's Eq. 1.
+//   - Issend is synchronized (as used by the paper's general barrier
+//     executor): the sender's request completes only when the receiver has
+//     matched the message.
+//   - Isend is eager: it completes on arrival at the destination, matched or
+//     not.
+//
+// An optional congestion mode serialises cross-node messages through the
+// source node's NIC, an effect the paper's static model deliberately ignores
+// (§VIII); it exists here for robustness ablations.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"topobarrier/internal/des"
+	"topobarrier/internal/fabric"
+)
+
+// Wildcards for Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// abortSignal is panicked into rank goroutines to unwind them when a run is
+// torn down early.
+type abortSignal struct{}
+
+// TraceEvent records one delivered message; see WithTracer.
+type TraceEvent struct {
+	Src, Dst, Tag, Bytes int
+	Sent                 float64 // virtual time the send was issued
+	Arrived              float64 // virtual time the message arrived
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithCongestion enables NIC serialisation of cross-node messages using the
+// fabric's occupancy model.
+func WithCongestion() Option { return func(w *World) { w.congestion = true } }
+
+// WithMaxEvents bounds the number of events a single Run may execute; runs
+// exceeding it fail with an error. 0 means unbounded.
+func WithMaxEvents(n int) Option { return func(w *World) { w.maxEvents = n } }
+
+// WithTracer installs a callback invoked for every delivered message.
+func WithTracer(fn func(TraceEvent)) Option { return func(w *World) { w.tracer = fn } }
+
+// World is a simulated P-rank job. A World may execute any number of
+// sequential Runs; fabric noise state carries across runs (so repetitions see
+// fresh noise), everything else is per-run.
+type World struct {
+	fab        *fabric.Fabric
+	n          int
+	congestion bool
+	maxEvents  int
+	tracer     func(TraceEvent)
+}
+
+// NewWorld wraps a placed fabric as a runnable job.
+func NewWorld(fab *fabric.Fabric, opts ...Option) *World {
+	w := &World{fab: fab, n: fab.P()}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Fabric returns the underlying cost oracle.
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Run executes body once on every rank concurrently (in virtual time) and
+// returns the virtual time at which the last rank finished. It returns an
+// error if any rank panicked, if ranks deadlocked, or if the event bound was
+// exceeded.
+func (w *World) Run(body func(*Comm)) (elapsed float64, err error) {
+	r := &run{
+		world:   w,
+		parked:  make(chan int),
+		nicFree: make([]float64, w.fab.Spec().Nodes),
+	}
+	r.procs = make([]*proc, w.n)
+	for i := 0; i < w.n; i++ {
+		p := &proc{rank: i, resume: make(chan struct{})}
+		r.procs[i] = p
+		go func(p *proc) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(abortSignal); !ok {
+						p.failure = fmt.Errorf("mpi: rank %d panicked: %v", p.rank, rec)
+					}
+				}
+				p.done = true
+				r.parked <- p.rank
+			}()
+			<-p.resume
+			if r.aborting {
+				panic(abortSignal{})
+			}
+			body(&Comm{r: r, p: p})
+		}(p)
+	}
+	for _, p := range r.procs {
+		p := p
+		r.q.Schedule(0, func() { r.wake(p) })
+	}
+
+	events := 0
+	for r.q.RunNext() {
+		events++
+		if r.err != nil {
+			break
+		}
+		if w.maxEvents > 0 && events > w.maxEvents {
+			r.err = fmt.Errorf("mpi: run exceeded %d events", w.maxEvents)
+			break
+		}
+	}
+
+	// Rank panics take precedence over the secondary deadlocks they cause.
+	for _, p := range r.procs {
+		if p.failure != nil && r.err == nil {
+			r.err = p.failure
+		}
+	}
+	if r.err == nil {
+		var blocked []int
+		for _, p := range r.procs {
+			if !p.done {
+				blocked = append(blocked, p.rank)
+			}
+		}
+		if len(blocked) > 0 {
+			sort.Ints(blocked)
+			r.err = fmt.Errorf("mpi: deadlock, ranks %v blocked at t=%g", blocked, r.q.Now())
+		}
+	}
+
+	// Tear down any goroutine still parked so nothing leaks.
+	r.aborting = true
+	for _, p := range r.procs {
+		if !p.done {
+			p.resume <- struct{}{}
+			<-r.parked
+		}
+	}
+	for _, p := range r.procs {
+		if p.failure != nil && r.err == nil {
+			r.err = p.failure
+		}
+	}
+	return r.q.Now(), r.err
+}
+
+// run holds the per-Run state.
+type run struct {
+	world    *World
+	q        des.Queue
+	procs    []*proc
+	parked   chan int
+	nicFree  []float64
+	aborting bool
+	err      error
+}
+
+type proc struct {
+	rank    int
+	resume  chan struct{}
+	done    bool
+	failure error
+
+	// batch state: sends issued since the proc last blocked.
+	batchCount int
+	batchLat   float64
+
+	waiting  []*Request // wait set while parked in Wait
+	sleeping bool       // Compute wake guard
+
+	posted     []*Request // posted, unmatched receives (post order)
+	unexpected []*inMsg   // arrived, unmatched messages (arrival order)
+}
+
+type inMsg struct {
+	src, tag, bytes int
+	arrival         float64
+	sreq            *Request // sender's request (nil once completed)
+}
+
+// wake resumes a parked proc and blocks until it parks again or finishes.
+// It must only be called from scheduler context (inside an event).
+func (r *run) wake(p *proc) {
+	p.resume <- struct{}{}
+	<-r.parked
+}
+
+// park blocks the calling proc, returning control to the scheduler, until the
+// scheduler wakes it. Called from proc context only.
+func (p *proc) park(r *run) {
+	p.batchCount = 0
+	p.batchLat = 0
+	r.parked <- p.rank
+	<-p.resume
+	if r.aborting {
+		panic(abortSignal{})
+	}
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,318 @@
+// Package netmpi executes compiled barrier plans over real TCP connections —
+// the transport that turns the tuned signal patterns into a deployable
+// library outside the simulator (§VIII: "employ this method in a library
+// implementation which would benefit unmodified application codes").
+//
+// Each rank owns one Peer: a listener plus one duplex TCP connection to
+// every other rank (rank i dials every j < i and accepts from every j > i,
+// so the mesh forms without a coordinator). Messages are length-prefixed
+// frames carrying a tag; per-connection reader goroutines demultiplex frames
+// into per-(source, tag) mailboxes, preserving per-link FIFO order exactly
+// like the simulator's non-overtaking guarantee.
+//
+// Barrier correctness needs only the knowledge recurrence of the schedule
+// (Eq. 3), which holds for eager sends, so sends are plain buffered writes;
+// a rank leaves the barrier when every signal addressed to it has arrived.
+package netmpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"topobarrier/internal/run"
+)
+
+// Peer is one rank's endpoint in the fully connected mesh.
+type Peer struct {
+	rank  int
+	size  int
+	conns []net.Conn
+
+	mu     sync.Mutex
+	boxes  map[mailKey]chan []byte
+	errVal error
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type mailKey struct {
+	src, tag int
+}
+
+// frame header: src (handshake only), tag, payload length.
+const headerBytes = 8
+
+// Listen opens a rank's listener on addr (use "127.0.0.1:0" for tests) and
+// returns it; its resolved address must be distributed to all peers before
+// Dial.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial builds the mesh for the given rank: addrs[i] must hold rank i's
+// listener address, and ln must be the listener previously created for this
+// rank. It blocks until all p-1 connections are established or the timeout
+// elapses.
+func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Peer, error) {
+	p := len(addrs)
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("netmpi: rank %d out of range for %d addresses", rank, p)
+	}
+	peer := &Peer{
+		rank:  rank,
+		size:  p,
+		conns: make([]net.Conn, p),
+		boxes: map[mailKey]chan []byte{},
+	}
+	deadline := time.Now().Add(timeout)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// Dial lower-numbered ranks; identify ourselves with a 4-byte rank
+	// header.
+	for j := 0; j < rank; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := net.Dialer{Deadline: deadline}
+			conn, err := d.Dial("tcp", addrs[j])
+			if err != nil {
+				fail(fmt.Errorf("netmpi: rank %d dialing rank %d: %w", rank, j, err))
+				return
+			}
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				fail(fmt.Errorf("netmpi: rank %d handshake to %d: %w", rank, j, err))
+				conn.Close()
+				return
+			}
+			mu.Lock()
+			peer.conns[j] = conn
+			mu.Unlock()
+		}()
+	}
+
+	// Accept higher-numbered ranks.
+	accepts := p - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for a := 0; a < accepts; a++ {
+			if dl, ok := ln.(*net.TCPListener); ok {
+				dl.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				fail(fmt.Errorf("netmpi: rank %d accepting: %w", rank, err))
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				fail(fmt.Errorf("netmpi: rank %d reading handshake: %w", rank, err))
+				conn.Close()
+				return
+			}
+			src := int(binary.BigEndian.Uint32(hdr[:]))
+			if src <= rank || src >= p {
+				fail(fmt.Errorf("netmpi: rank %d got handshake from invalid rank %d", rank, src))
+				conn.Close()
+				return
+			}
+			mu.Lock()
+			peer.conns[src] = conn
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if firstErr != nil {
+		peer.Close()
+		return nil, firstErr
+	}
+
+	// Start the demultiplexing readers.
+	for j, conn := range peer.conns {
+		if conn == nil {
+			continue
+		}
+		peer.wg.Add(1)
+		go peer.reader(j, conn)
+	}
+	return peer, nil
+}
+
+// Rank returns this peer's rank.
+func (p *Peer) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the mesh.
+func (p *Peer) Size() int { return p.size }
+
+// reader decodes frames from one connection into mailboxes.
+func (p *Peer) reader(src int, conn net.Conn) {
+	defer p.wg.Done()
+	var hdr [headerBytes]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			p.fail(src, err)
+			return
+		}
+		tag := int(int32(binary.BigEndian.Uint32(hdr[:4])))
+		n := int(binary.BigEndian.Uint32(hdr[4:]))
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				p.fail(src, err)
+				return
+			}
+		}
+		p.box(src, tag) <- payload
+	}
+}
+
+func (p *Peer) fail(src int, err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return // orderly shutdown
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.errVal == nil && !p.closed {
+		p.errVal = fmt.Errorf("netmpi: rank %d reading from %d: %w", p.rank, src, err)
+	}
+}
+
+// box returns (creating on demand) the mailbox for one (source, tag) pair.
+func (p *Peer) box(src, tag int) chan []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := mailKey{src, tag}
+	b, ok := p.boxes[k]
+	if !ok {
+		b = make(chan []byte, 64)
+		p.boxes[k] = b
+	}
+	return b
+}
+
+// Send transmits one tagged message to dst. Sends are eager: completion
+// means the frame entered the TCP stream.
+func (p *Peer) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= p.size || dst == p.rank {
+		return fmt.Errorf("netmpi: rank %d sending to invalid rank %d", p.rank, dst)
+	}
+	frame := make([]byte, headerBytes+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[headerBytes:], payload)
+	if _, err := p.conns[dst].Write(frame); err != nil {
+		return fmt.Errorf("netmpi: rank %d sending to %d: %w", p.rank, dst, err)
+	}
+	return nil
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. The deadline bounds the wait; zero means no bound.
+func (p *Peer) Recv(src, tag int, deadline time.Duration) ([]byte, error) {
+	if src < 0 || src >= p.size || src == p.rank {
+		return nil, fmt.Errorf("netmpi: rank %d receiving from invalid rank %d", p.rank, src)
+	}
+	if err := p.err(); err != nil {
+		return nil, err
+	}
+	b := p.box(src, tag)
+	if deadline <= 0 {
+		return <-b, nil
+	}
+	select {
+	case msg := <-b:
+		return msg, nil
+	case <-time.After(deadline):
+		if err := p.err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("netmpi: rank %d timed out waiting for (%d, %d)", p.rank, src, tag)
+	}
+}
+
+func (p *Peer) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.errVal
+}
+
+// Close tears the mesh down.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range p.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// Barrier executes one compiled barrier plan over the mesh, using tags in
+// [tagBase, tagBase+plan stages). The deadline bounds each receive.
+func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error {
+	if pl.P != p.size {
+		return fmt.Errorf("netmpi: %d-rank plan on %d-rank mesh", pl.P, p.size)
+	}
+	for _, st := range pl.RankOps(p.rank) {
+		tag := tagBase + st.Stage
+		for _, dst := range st.Sends {
+			if err := p.Send(dst, tag, nil); err != nil {
+				return err
+			}
+		}
+		for _, src := range st.Recvs {
+			if _, err := p.Recv(src, tag, deadline); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureBarrier times iters wall-clock barrier executions after warmup
+// untimed ones. All ranks must call it with the same arguments; the caller
+// aggregates the per-rank durations.
+func (p *Peer) MeasureBarrier(pl *run.Plan, warmup, iters int, deadline time.Duration) (time.Duration, error) {
+	if iters <= 0 {
+		return 0, fmt.Errorf("netmpi: non-positive iteration count %d", iters)
+	}
+	tag := 0
+	next := func() int {
+		tag++
+		return (tag % 2) * run.TagSpan
+	}
+	for i := 0; i < warmup; i++ {
+		if err := p.Barrier(pl, next(), deadline); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := p.Barrier(pl, next(), deadline); err != nil {
+			return 0, err
+		}
+	}
+	return time.Duration(int64(time.Since(start)) / int64(iters)), nil
+}

@@ -1,0 +1,80 @@
+package predict
+
+import "topobarrier/internal/sched"
+
+// CongestionModel extends the static cost model with the source-NIC
+// serialisation effect the paper's model deliberately omits (§VIII:
+// "predictions do not consider run-time effects of contention and
+// congestion"). Within each stage, the cross-node messages leaving one node
+// queue behind each other for Occupancy seconds apiece; each sender's batch
+// is charged its queueing delay. The model is deliberately simple — enough
+// to study whether congestion changes tuning decisions (it rarely does; see
+// the ablation benches).
+type CongestionModel struct {
+	// NodeOf maps a rank to its node.
+	NodeOf func(rank int) int
+	// Occupancy is the NIC serialisation time per cross-node message.
+	Occupancy float64
+}
+
+// CostCongested evaluates the schedule like Cost, additionally charging
+// per-stage NIC queueing for cross-node messages. With a nil model it
+// degrades to Cost.
+func (pd *Predictor) CostCongested(s *sched.Schedule, cm *CongestionModel) float64 {
+	if cm == nil || cm.Occupancy <= 0 || cm.NodeOf == nil {
+		return pd.Cost(s)
+	}
+	pd.check(s)
+	t := make([]float64, s.P)
+	next := make([]float64, s.P)
+	queued := make(map[int]int) // node -> cross-node messages so far this stage
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		for n := range queued {
+			delete(queued, n)
+		}
+		dur := make([]float64, s.P)
+		// Deterministic rank order defines the queue positions.
+		for i := 0; i < s.P; i++ {
+			targets := st.Row(i)
+			dur[i] = pd.BatchCost(i, targets, ready)
+			node := cm.NodeOf(i)
+			cross := 0
+			for _, j := range targets {
+				if cm.NodeOf(j) != node {
+					cross++
+				}
+			}
+			if cross > 0 {
+				// This rank's messages depart after everything already
+				// queued on its node, and occupy the NIC themselves.
+				dur[i] += float64(queued[node]+cross) * cm.Occupancy
+				queued[node] += cross
+			}
+		}
+		for i := 0; i < s.P; i++ {
+			next[i] = t[i] + dur[i]
+		}
+		for m := 0; m < s.P; m++ {
+			arr := t[m] + dur[m]
+			for _, i := range st.Row(m) {
+				if arr > next[i] {
+					next[i] = arr
+				}
+			}
+		}
+		if pd.StageOverhead > 0 {
+			for i := 0; i < s.P; i++ {
+				next[i] += pd.StageOverhead
+			}
+		}
+		t, next = next, t
+	}
+	max := 0.0
+	for _, v := range t {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

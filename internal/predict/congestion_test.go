@@ -1,0 +1,86 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"topobarrier/internal/sched"
+)
+
+// twoNodeModel maps the first half of the ranks to node 0 and the rest to
+// node 1.
+func twoNodeModel(p int, occ float64) *CongestionModel {
+	return &CongestionModel{
+		NodeOf:    func(r int) int { return r * 2 / p },
+		Occupancy: occ,
+	}
+}
+
+func TestCostCongestedDegradesToCost(t *testing.T) {
+	pd := New(uniformProfile(8, o, l, oii))
+	s := sched.Tree(8)
+	base := pd.Cost(s)
+	if got := pd.CostCongested(s, nil); got != base {
+		t.Fatalf("nil model changed the cost: %g vs %g", got, base)
+	}
+	if got := pd.CostCongested(s, &CongestionModel{Occupancy: 0, NodeOf: func(int) int { return 0 }}); got != base {
+		t.Fatalf("zero occupancy changed the cost")
+	}
+}
+
+func TestCostCongestedChargesCrossNodeQueueing(t *testing.T) {
+	p := 8
+	pd := New(uniformProfile(p, o, l, oii))
+	// Dissemination at p=8 under a split into two nodes sends cross-node
+	// traffic in every stage; queueing must raise the estimate.
+	s := sched.Dissemination(p)
+	base := pd.Cost(s)
+	cong := pd.CostCongested(s, twoNodeModel(p, 5e-6))
+	if cong <= base {
+		t.Fatalf("congestion did not raise cost: %g vs %g", cong, base)
+	}
+	// An intra-node-only pattern is unaffected: linear over one node's
+	// ranks only.
+	local := sched.Linear(4).Lift(p, []int{0, 1, 2, 3})
+	if got := pd.CostCongested(local, twoNodeModel(p, 5e-6)); math.Abs(got-pd.Cost(local)) > 1e-15 {
+		t.Fatalf("intra-node pattern charged for congestion: %g vs %g", got, pd.Cost(local))
+	}
+}
+
+func TestCostCongestedScalesWithOccupancy(t *testing.T) {
+	p := 16
+	pd := New(uniformProfile(p, o, l, oii))
+	s := sched.Dissemination(p)
+	low := pd.CostCongested(s, twoNodeModel(p, 1e-6))
+	high := pd.CostCongested(s, twoNodeModel(p, 10e-6))
+	if high <= low {
+		t.Fatalf("occupancy scaling broken: %g vs %g", high, low)
+	}
+}
+
+func TestCostCongestedHierarchicalBeatsFlatHarder(t *testing.T) {
+	// Congestion penalises patterns with many concurrent cross-node
+	// messages; a hierarchical pattern (one cross message per node pair)
+	// must widen its advantage over the flat linear barrier when congestion
+	// is modelled.
+	p := 16
+	pd := New(clusteredProfile(p, 2e-6, 55e-6, 0.5e-6, 8e-6, 1e-6))
+	cm := twoNodeModel(p, 4e-6)
+	flat := sched.Linear(p)
+	// Hierarchical: gather within halves, exchange between leaders, fan out.
+	arr := sched.MergeEarly("children", p,
+		sched.LinearArrival(8).Lift(p, []int{0, 1, 2, 3, 4, 5, 6, 7}),
+		sched.LinearArrival(8).Lift(p, []int{8, 9, 10, 11, 12, 13, 14, 15}),
+	)
+	root := sched.TreeArrival(2).Lift(p, []int{0, 8})
+	hier := sched.New("hier", p).Concat(arr).Concat(root)
+	hier.Concat(hier.Clone().ReverseTransposed())
+	if !hier.IsBarrier() {
+		t.Fatal("test schedule broken")
+	}
+	gapStatic := pd.Cost(flat) / pd.Cost(hier)
+	gapCongested := pd.CostCongested(flat, cm) / pd.CostCongested(hier, cm)
+	if gapCongested <= gapStatic {
+		t.Fatalf("congestion did not widen the hierarchy advantage: %.2f vs %.2f", gapCongested, gapStatic)
+	}
+}

@@ -1,0 +1,198 @@
+// Package predict couples the algorithmic model to the topological model
+// (§VI): it weights the incidence matrices of a schedule with the batch costs
+// implied by the paper's Equations 1 and 2 and reports the critical-path cost
+// of the resulting layered dependency graph — the predicted execution time of
+// the barrier on the profiled platform.
+package predict
+
+import (
+	"fmt"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/sched"
+)
+
+// CostPolicy selects when the ready-receiver form (Eq. 2) applies.
+type CostPolicy int
+
+const (
+	// FirstStageEq1 uses Eq. 1 for the first stage (receivers may not yet
+	// await the signals) and Eq. 2 afterwards (within a running barrier,
+	// receivers post before signalling). This is the default.
+	FirstStageEq1 CostPolicy = iota
+	// AlwaysEq1 uses the conservative full-overhead form everywhere.
+	AlwaysEq1
+	// AlwaysEq2 assumes ready receivers everywhere.
+	AlwaysEq2
+)
+
+// String returns a short policy name.
+func (p CostPolicy) String() string {
+	switch p {
+	case FirstStageEq1:
+		return "eq1-first-stage"
+	case AlwaysEq1:
+		return "always-eq1"
+	case AlwaysEq2:
+		return "always-eq2"
+	default:
+		return fmt.Sprintf("CostPolicy(%d)", int(p))
+	}
+}
+
+// Predictor evaluates schedules against one profile.
+type Predictor struct {
+	Prof   *profile.Profile
+	Policy CostPolicy
+	// StageOverhead is a small per-stage cost charged to every rank even
+	// when it is idle in the stage; §VII.B relies on such a penalty for the
+	// existence of an upper bound on useful stage counts. 0 disables it.
+	StageOverhead float64
+}
+
+// New returns a predictor with the default policy.
+func New(prof *profile.Profile) *Predictor {
+	return &Predictor{Prof: prof, Policy: FirstStageEq1}
+}
+
+// BatchCost evaluates the cost of rank i sending one signal to each target in
+// one stage. With ready=false this is the paper's Eq. 1,
+// max_k O[i][jk] + Σ_k L[i][jk]; with ready=true it is Eq. 2,
+// O[i][i] + Σ_k L[i][jk]. An empty target list costs nothing.
+func (pd *Predictor) BatchCost(i int, targets []int, ready bool) float64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	sumL := 0.0
+	maxO := 0.0
+	for _, j := range targets {
+		sumL += pd.Prof.L.At(i, j)
+		if o := pd.Prof.O.At(i, j); o > maxO {
+			maxO = o
+		}
+	}
+	if ready {
+		return pd.Prof.O.At(i, i) + sumL
+	}
+	return maxO + sumL
+}
+
+func (pd *Predictor) stageReady(stage int) bool {
+	switch pd.Policy {
+	case AlwaysEq1:
+		return false
+	case AlwaysEq2:
+		return true
+	default:
+		return stage > 0
+	}
+}
+
+// StageCosts returns, for every stage, the per-rank send-batch durations —
+// the "matrices of per-rank cost estimates at each step" of §VI, reduced to
+// their row sums.
+func (pd *Predictor) StageCosts(s *sched.Schedule) [][]float64 {
+	pd.check(s)
+	out := make([][]float64, s.NumStages())
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		row := make([]float64, s.P)
+		for i := 0; i < s.P; i++ {
+			row[i] = pd.BatchCost(i, st.Row(i), ready)
+		}
+		out[k] = row
+	}
+	return out
+}
+
+// Cost returns the predicted execution time of the schedule: the critical
+// path from all arrivals through all departures of the layered dependency
+// graph. Rank i's stage completes when its own send batch has drained and
+// every signal addressed to it in the stage has arrived; a signal from m
+// arrives when m's batch (begun at m's previous-stage completion) drains.
+func (pd *Predictor) Cost(s *sched.Schedule) float64 {
+	pd.check(s)
+	t := make([]float64, s.P) // completion time of the previous stage
+	next := make([]float64, s.P)
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		// Send-batch duration per rank.
+		dur := make([]float64, s.P)
+		for i := 0; i < s.P; i++ {
+			dur[i] = pd.BatchCost(i, st.Row(i), ready)
+		}
+		for i := 0; i < s.P; i++ {
+			next[i] = t[i] + dur[i]
+		}
+		// Receives: signal m→i lands when m's batch drains.
+		for m := 0; m < s.P; m++ {
+			arr := t[m] + dur[m]
+			for _, i := range st.Row(m) {
+				if arr > next[i] {
+					next[i] = arr
+				}
+			}
+		}
+		// Executing the stage itself costs every rank the per-stage
+		// overhead, regardless of whether sends or receives dominated.
+		if pd.StageOverhead > 0 {
+			for i := 0; i < s.P; i++ {
+				next[i] += pd.StageOverhead
+			}
+		}
+		t, next = next, t
+	}
+	max := 0.0
+	for _, v := range t {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// ArrivalPhaseCost approximates the cost of a full barrier built from an
+// arrival phase, following §VII.B: the arrival cost is doubled to account for
+// the departure transposes, except when the component needs no departure
+// (a root-level dissemination), where the multiplier is 1.
+func (pd *Predictor) ArrivalPhaseCost(arrival *sched.Schedule, needsDeparture bool) float64 {
+	c := pd.Cost(arrival)
+	if needsDeparture {
+		return 2 * c
+	}
+	return c
+}
+
+func (pd *Predictor) check(s *sched.Schedule) {
+	if s.P != pd.Prof.P {
+		panic(fmt.Sprintf("predict: %d-rank schedule against %d-rank profile", s.P, pd.Prof.P))
+	}
+}
+
+// WeightedStages returns, per stage, the incidence matrix weighted by cost:
+// entry (i, j) holds the predicted drain time of the batch that carries the
+// signal i→j (Eq. 1/Eq. 2 applied to i's full target list for the stage).
+// This is §VI's "weighting the incidence matrices by the cost implied by
+// Equations 1, 2 to obtain matrices of per-rank cost estimates at each
+// step", exposed for inspection and tooling.
+func (pd *Predictor) WeightedStages(s *sched.Schedule) []*mat.Dense {
+	pd.check(s)
+	out := make([]*mat.Dense, s.NumStages())
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		w := mat.NewDense(s.P)
+		for i := 0; i < s.P; i++ {
+			targets := st.Row(i)
+			if len(targets) == 0 {
+				continue
+			}
+			cost := pd.BatchCost(i, targets, ready)
+			for _, j := range targets {
+				w.Set(i, j, cost)
+			}
+		}
+		out[k] = w
+	}
+	return out
+}

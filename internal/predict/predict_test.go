@@ -1,0 +1,247 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"topobarrier/internal/profile"
+	"topobarrier/internal/sched"
+)
+
+// uniformProfile has O=o, L=l on every off-diagonal link and Oii=oii.
+func uniformProfile(p int, o, l, oii float64) *profile.Profile {
+	pr := profile.New("uniform", p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				pr.O.Set(i, j, oii)
+				continue
+			}
+			pr.O.Set(i, j, o)
+			pr.L.Set(i, j, l)
+		}
+	}
+	return pr
+}
+
+// clusteredProfile models two tightly-coupled groups of size p/2 with slow
+// links between them.
+func clusteredProfile(p int, oLocal, oRemote, lLocal, lRemote, oii float64) *profile.Profile {
+	pr := profile.New("clustered", p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				pr.O.Set(i, j, oii)
+				continue
+			}
+			if (i < p/2) == (j < p/2) {
+				pr.O.Set(i, j, oLocal)
+				pr.L.Set(i, j, lLocal)
+			} else {
+				pr.O.Set(i, j, oRemote)
+				pr.L.Set(i, j, lRemote)
+			}
+		}
+	}
+	return pr
+}
+
+const (
+	o   = 10e-6
+	l   = 2e-6
+	oii = 1e-6
+)
+
+func TestBatchCostEquations(t *testing.T) {
+	pd := New(uniformProfile(8, o, l, oii))
+	// Eq. 1: max O + Σ L.
+	if got := pd.BatchCost(0, []int{1, 2, 3}, false); math.Abs(got-(o+3*l)) > 1e-18 {
+		t.Fatalf("Eq1 batch = %g, want %g", got, o+3*l)
+	}
+	// Eq. 2: Oii + Σ L.
+	if got := pd.BatchCost(0, []int{1, 2, 3}, true); math.Abs(got-(oii+3*l)) > 1e-18 {
+		t.Fatalf("Eq2 batch = %g, want %g", got, oii+3*l)
+	}
+	if pd.BatchCost(0, nil, false) != 0 {
+		t.Fatalf("empty batch has nonzero cost")
+	}
+}
+
+func TestBatchCostMaxOverhead(t *testing.T) {
+	pr := uniformProfile(4, o, l, oii)
+	pr.O.Set(0, 3, 100e-6) // one slow target dominates the max term
+	pd := New(pr)
+	want := 100e-6 + 3*l
+	if got := pd.BatchCost(0, []int{1, 2, 3}, false); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("max-overhead batch = %g, want %g", got, want)
+	}
+}
+
+func TestLinearCostClosedForm(t *testing.T) {
+	p := 8
+	pd := New(uniformProfile(p, o, l, oii))
+	// Stage 0 (Eq. 1): each non-root sends one signal, root done at o+l.
+	// Stage 1 (Eq. 2): root sends p-1 signals: oii + (p-1)l.
+	want := (o + l) + (oii + float64(p-1)*l)
+	got := pd.Cost(sched.Linear(p))
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("linear cost = %g, want %g", got, want)
+	}
+}
+
+func TestRingArrivalCostChains(t *testing.T) {
+	p := 4
+	pd := New(uniformProfile(p, o, l, oii))
+	// Stage 0: 0→1 at o+l; stages 1,2 each add oii+l.
+	want := (o + l) + 2*(oii+l)
+	got := pd.Cost(sched.RingArrival(p))
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ring arrival cost = %g, want %g", got, want)
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	s := sched.Tree(16)
+	pr := uniformProfile(16, o, l, oii)
+	eq1 := &Predictor{Prof: pr, Policy: AlwaysEq1}
+	eq2 := &Predictor{Prof: pr, Policy: AlwaysEq2}
+	def := &Predictor{Prof: pr, Policy: FirstStageEq1}
+	c1, c2, cd := eq1.Cost(s), eq2.Cost(s), def.Cost(s)
+	if !(c2 < cd && cd < c1) {
+		t.Fatalf("policy ordering violated: eq2=%g default=%g eq1=%g", c2, cd, c1)
+	}
+}
+
+func TestStageOverheadCharges(t *testing.T) {
+	s := sched.Tree(8) // 6 stages
+	pr := uniformProfile(8, o, l, oii)
+	base := New(pr).Cost(s)
+	pd := New(pr)
+	pd.StageOverhead = 1e-6
+	if got := pd.Cost(s); math.Abs(got-(base+6e-6)) > 1e-15 {
+		t.Fatalf("stage overhead not charged: %g vs %g+6µs", got, base)
+	}
+}
+
+func TestTreeBeatsLinearAtScale(t *testing.T) {
+	p := 32
+	pd := New(uniformProfile(p, o, l, oii))
+	lin := pd.Cost(sched.Linear(p))
+	tree := pd.Cost(sched.Tree(p))
+	if tree >= lin {
+		t.Fatalf("tree (%g) not faster than linear (%g) at p=%d", tree, lin, p)
+	}
+}
+
+func TestDisseminationFewerStagesThanTree(t *testing.T) {
+	p := 32
+	pd := New(uniformProfile(p, o, l, oii))
+	dis := pd.Cost(sched.Dissemination(p))
+	tree := pd.Cost(sched.Tree(p))
+	// On a uniform interconnect dissemination halves the stage count and
+	// should win.
+	if dis >= tree {
+		t.Fatalf("dissemination (%g) not faster than tree (%g) on uniform links", dis, tree)
+	}
+}
+
+func TestClusteredProfileFavoursLocalityAwareTree(t *testing.T) {
+	// With two far-apart groups, the binomial tree (which crosses the slow
+	// boundary once per direction) must beat dissemination (which crosses it
+	// in every stage).
+	p := 16
+	pd := New(clusteredProfile(p, 2e-6, 80e-6, 0.5e-6, 8e-6, 1e-6))
+	dis := pd.Cost(sched.Dissemination(p))
+	tree := pd.Cost(sched.Tree(p))
+	if tree >= dis {
+		t.Fatalf("tree (%g) not faster than dissemination (%g) on clustered profile", tree, dis)
+	}
+}
+
+func TestArrivalPhaseCost(t *testing.T) {
+	p := 8
+	pd := New(uniformProfile(p, o, l, oii))
+	arr := sched.TreeArrival(p)
+	if got, want := pd.ArrivalPhaseCost(arr, true), 2*pd.Cost(arr); got != want {
+		t.Fatalf("doubled arrival cost = %g, want %g", got, want)
+	}
+	dis := sched.Dissemination(p)
+	if got, want := pd.ArrivalPhaseCost(dis, false), pd.Cost(dis); got != want {
+		t.Fatalf("dissemination root cost = %g, want %g", got, want)
+	}
+}
+
+func TestStageCostsShape(t *testing.T) {
+	p := 6
+	pd := New(uniformProfile(p, o, l, oii))
+	s := sched.Linear(p)
+	costs := pd.StageCosts(s)
+	if len(costs) != 2 || len(costs[0]) != p {
+		t.Fatalf("stage costs shape wrong")
+	}
+	if costs[0][0] != 0 {
+		t.Fatalf("root sends in arrival stage?")
+	}
+	if costs[0][1] != o+l {
+		t.Fatalf("leaf arrival batch = %g", costs[0][1])
+	}
+	if costs[1][0] != oii+float64(p-1)*l {
+		t.Fatalf("root departure batch = %g", costs[1][0])
+	}
+}
+
+func TestMismatchedProfilePanics(t *testing.T) {
+	pd := New(uniformProfile(4, o, l, oii))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("size mismatch accepted")
+		}
+	}()
+	pd.Cost(sched.Linear(5))
+}
+
+func TestEmptySchedulePredictsZero(t *testing.T) {
+	pd := New(uniformProfile(3, o, l, oii))
+	if got := pd.Cost(sched.New("empty", 3)); got != 0 {
+		t.Fatalf("empty schedule cost = %g", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstStageEq1.String() != "eq1-first-stage" || AlwaysEq1.String() != "always-eq1" ||
+		AlwaysEq2.String() != "always-eq2" || CostPolicy(9).String() != "CostPolicy(9)" {
+		t.Fatalf("policy names wrong")
+	}
+}
+
+func BenchmarkCostTree64(b *testing.B) {
+	pd := New(uniformProfile(64, o, l, oii))
+	s := sched.Tree(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pd.Cost(s)
+	}
+}
+
+func TestWeightedStages(t *testing.T) {
+	p := 4
+	pd := New(uniformProfile(p, o, l, oii))
+	ws := pd.WeightedStages(sched.Linear(p))
+	if len(ws) != 2 {
+		t.Fatalf("weighted stages = %d", len(ws))
+	}
+	// Stage 0: each leaf's single-signal batch costs O+L.
+	if got := ws[0].At(1, 0); got != o+l {
+		t.Fatalf("leaf edge weight = %g, want %g", got, o+l)
+	}
+	if ws[0].At(0, 1) != 0 {
+		t.Fatalf("absent edge weighted")
+	}
+	// Stage 1: the root's 3-signal batch costs Oii+3L on every edge.
+	want := oii + 3*l
+	for j := 1; j < p; j++ {
+		if got := ws[1].At(0, j); got != want {
+			t.Fatalf("root edge weight = %g, want %g", got, want)
+		}
+	}
+}

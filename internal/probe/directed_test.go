@@ -1,0 +1,117 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/topo"
+)
+
+// skewedFabric returns a quiet fabric whose reverse-direction links (higher
+// core to lower core) cost 50% more.
+func skewedFabric(t testing.TB, p int) *fabric.Fabric {
+	t.Helper()
+	spec := topo.Spec{Name: "skewed", Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 4}
+	params := fabric.Params{
+		Classes: map[topo.LinkClass]fabric.Link{
+			topo.SameSocket: {Alpha: 10e-6, Beta: 1e-9, Lambda: 2e-6},
+			topo.CrossNode:  {Alpha: 50e-6, Beta: 8e-9, Lambda: 8e-6},
+		},
+		SelfOverhead:  1e-6,
+		DirectionSkew: 0.5,
+	}
+	f, err := fabric.New(spec, topo.Block{}, p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFabricDirectionSkew(t *testing.T) {
+	f := skewedFabric(t, 8)
+	fwd := f.TrueO(0, 4)
+	rev := f.TrueO(4, 0)
+	if math.Abs(rev/fwd-1.5) > 1e-12 {
+		t.Fatalf("skew not applied: fwd %g rev %g", fwd, rev)
+	}
+	if f.TrueL(4, 0)/f.TrueL(0, 4) != 1.5 {
+		t.Fatalf("skew not applied to L")
+	}
+	// Noise-free samples match ground truth in both directions.
+	if f.SendOverhead(4, 0, 0) != rev {
+		t.Fatalf("sample does not reflect skew")
+	}
+}
+
+func TestMeasureDirectedRecoversAsymmetry(t *testing.T) {
+	f := skewedFabric(t, 6)
+	pf, err := MeasureDirected(mpi.NewWorld(f), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			if e := relErr(pf.O.At(i, j), f.TrueO(i, j)); e > 0.08 {
+				t.Errorf("directed O[%d][%d] = %g, want %g", i, j, pf.O.At(i, j), f.TrueO(i, j))
+			}
+			if e := relErr(pf.L.At(i, j), f.TrueL(i, j)); e > 0.08 {
+				t.Errorf("directed L[%d][%d] = %g, want %g", i, j, pf.L.At(i, j), f.TrueL(i, j))
+			}
+		}
+	}
+	// The asymmetry itself must be visible in the profile.
+	if pf.O.At(4, 0) < 1.3*pf.O.At(0, 4) {
+		t.Fatalf("profile symmetrised away the skew: %g vs %g", pf.O.At(4, 0), pf.O.At(0, 4))
+	}
+}
+
+func TestMeasureDirectedReplicate(t *testing.T) {
+	f := skewedFabric(t, 8)
+	cfg := Default()
+	cfg.Replicate = true
+	pf, err := MeasureDirected(mpi.NewWorld(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural replication must preserve direction classes: all forward
+	// cross-node entries equal, all reverse cross-node entries equal, and
+	// the two differ by the skew.
+	if pf.O.At(0, 4) != pf.O.At(1, 5) {
+		t.Fatalf("forward replication broken")
+	}
+	if pf.O.At(4, 0) != pf.O.At(5, 1) {
+		t.Fatalf("reverse replication broken")
+	}
+	if pf.O.At(4, 0) < 1.3*pf.O.At(0, 4) {
+		t.Fatalf("replicated profile lost the asymmetry")
+	}
+}
+
+func TestSymmetricFabricDirectedProfileSymmetric(t *testing.T) {
+	f := quietFabric(t, 6)
+	pf, err := MeasureDirected(mpi.NewWorld(f), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			a, b := pf.O.At(i, j), pf.O.At(j, i)
+			if math.Abs(a-b)/a > 0.05 {
+				t.Fatalf("directed profile of symmetric fabric asymmetric at (%d,%d): %g vs %g", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestMeasureDirectedValidation(t *testing.T) {
+	f := skewedFabric(t, 4)
+	if _, err := MeasureDirected(mpi.NewWorld(f), Config{Sizes: []int{1}, Batches: []int{1, 2}, Reps: 1}); err == nil {
+		t.Fatalf("bad config accepted")
+	}
+}

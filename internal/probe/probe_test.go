@@ -1,0 +1,319 @@
+package probe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/stats"
+	"topobarrier/internal/topo"
+)
+
+// quietFabric returns a noise-free two-node machine with known parameters.
+func quietFabric(t testing.TB, p int) *fabric.Fabric {
+	t.Helper()
+	spec := topo.Spec{Name: "probe-test", Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 4}
+	params := fabric.Params{
+		Classes: map[topo.LinkClass]fabric.Link{
+			topo.SameSocket: {Alpha: 10e-6, Beta: 1e-9, Lambda: 2e-6},
+			topo.CrossNode:  {Alpha: 50e-6, Beta: 8e-9, Lambda: 8e-6},
+		},
+		SelfOverhead: 1e-6,
+	}
+	f, err := fabric.New(spec, topo.Block{}, p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMeasureRecoversQuietParameters(t *testing.T) {
+	f := quietFabric(t, 6)
+	pf, err := Measure(mpi.NewWorld(f), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.P != 6 {
+		t.Fatalf("profile P = %d", pf.P)
+	}
+	relErr := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				if relErr(pf.O.At(i, i), 1e-6) > 0.02 {
+					t.Errorf("Oii[%d] = %g, want ~1µs", i, pf.O.At(i, i))
+				}
+				continue
+			}
+			if e := relErr(pf.O.At(i, j), f.TrueO(i, j)); e > 0.05 {
+				t.Errorf("O[%d][%d] = %g, want %g (err %.1f%%)", i, j, pf.O.At(i, j), f.TrueO(i, j), 100*e)
+			}
+			if e := relErr(pf.L.At(i, j), f.TrueL(i, j)); e > 0.05 {
+				t.Errorf("L[%d][%d] = %g, want %g (err %.1f%%)", i, j, pf.L.At(i, j), f.TrueL(i, j), 100*e)
+			}
+		}
+	}
+}
+
+func TestMeasureSymmetricByConstruction(t *testing.T) {
+	pf, err := Measure(mpi.NewWorld(quietFabric(t, 5)), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pf.P; i++ {
+		for j := 0; j < pf.P; j++ {
+			if pf.O.At(i, j) != pf.O.At(j, i) || pf.L.At(i, j) != pf.L.At(j, i) {
+				t.Fatalf("asymmetric profile at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeasureWithNoiseStaysInBand(t *testing.T) {
+	spec := topo.Spec{Name: "noisy", Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 3}
+	params := fabric.Params{
+		Classes: map[topo.LinkClass]fabric.Link{
+			topo.SameSocket: {Alpha: 10e-6, Beta: 1e-9, Lambda: 2e-6, Sigma: 0.08},
+			topo.CrossNode:  {Alpha: 50e-6, Beta: 8e-9, Lambda: 8e-6, Sigma: 0.12},
+		},
+		SelfOverhead: 1e-6,
+		SelfSigma:    0.05,
+		Seed:         99,
+	}
+	f, err := fabric.New(spec, topo.Block{}, 6, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Measure(mpi.NewWorld(f), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise allows individual error, but the profile must still cleanly
+	// separate the two link classes — the property the tuner depends on.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			o := pf.O.At(i, j)
+			if f.Class(i, j) == topo.CrossNode {
+				if o < 30e-6 || o > 80e-6 {
+					t.Errorf("cross-node O[%d][%d] = %g out of band", i, j, o)
+				}
+			} else if o > 20e-6 {
+				t.Errorf("local O[%d][%d] = %g out of band", i, j, o)
+			}
+		}
+	}
+}
+
+func TestReplicateMatchesFullOnUniformFabric(t *testing.T) {
+	full, err := Measure(mpi.NewWorld(quietFabric(t, 6)), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.Replicate = true
+	rep, err := Measure(mpi.NewWorld(quietFabric(t, 6)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			d := math.Abs(full.O.At(i, j) - rep.O.At(i, j))
+			if d > 0.05*full.O.At(i, j) {
+				t.Errorf("replicated O[%d][%d] = %g, full = %g", i, j, rep.O.At(i, j), full.O.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReplicateIsMuchCheaper(t *testing.T) {
+	// On the quad cluster, a replicated profile measures a handful of pairs;
+	// sanity-check it completes on the full 64-rank machine quickly.
+	f, err := fabric.QuadClusterFabric(topo.Block{}, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.Replicate = true
+	pf, err := Measure(mpi.NewWorld(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.P != 64 {
+		t.Fatalf("P = %d", pf.P)
+	}
+	// All cross-node entries share the single measured representative.
+	if pf.O.At(0, 8) != pf.O.At(5, 63) {
+		t.Fatalf("replication not uniform: %g vs %g", pf.O.At(0, 8), pf.O.At(5, 63))
+	}
+	if pf.O.At(0, 8) < 30e-6 {
+		t.Fatalf("cross-node estimate %g implausible", pf.O.At(0, 8))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := mpi.NewWorld(quietFabric(t, 4))
+	bad := []Config{
+		{Sizes: []int{1}, Batches: []int{1, 2}, Reps: 1},
+		{Sizes: []int{1, 2}, Batches: []int{1}, Reps: 1},
+		{Sizes: []int{1, 2}, Batches: []int{1, 2}, Reps: 0},
+		{Sizes: []int{1, 2}, Batches: []int{1, 2}, Reps: 1, Warmup: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Measure(w, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	single, err := fabric.New(topo.SingleNode(1, 1, 0), topo.Block{}, 1, fabric.Params{
+		Classes:      map[topo.LinkClass]fabric.Link{},
+		SelfOverhead: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(mpi.NewWorld(single), Default()); err == nil {
+		t.Errorf("1-rank profiling accepted")
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	cfg := Paper()
+	if len(cfg.Sizes) != 21 || cfg.Sizes[0] != 1 || cfg.Sizes[20] != 1<<20 {
+		t.Fatalf("paper sizes wrong: %v", cfg.Sizes)
+	}
+	if len(cfg.Batches) != 32 || cfg.Batches[31] != 32 {
+		t.Fatalf("paper batches wrong")
+	}
+	if cfg.Reps != 25 {
+		t.Fatalf("paper reps = %d", cfg.Reps)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	run := func() float64 {
+		f, err := fabric.QuadClusterFabric(topo.Block{}, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := Measure(mpi.NewWorld(f), Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pf.O.At(0, 7)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("profiling not reproducible: %g vs %g", a, b)
+	}
+}
+
+func BenchmarkMeasureReplicate64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := fabric.QuadClusterFabric(topo.Block{}, 64, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Default()
+		cfg.Replicate = true
+		if _, err := Measure(mpi.NewWorld(f), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: for random quiet fabrics, the estimator recovers the ground
+// truth within 10% for every link class present.
+func TestQuickMeasureRecoversRandomParams(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		alphaLocal := (1 + 9*rng.Float64()) * 1e-6
+		alphaRemote := (20 + 80*rng.Float64()) * 1e-6
+		spec := topo.Spec{Name: "rand", Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 2}
+		params := fabric.Params{
+			Classes: map[topo.LinkClass]fabric.Link{
+				topo.SameSocket: {Alpha: alphaLocal, Beta: 1e-9, Lambda: alphaLocal / 5},
+				topo.CrossNode:  {Alpha: alphaRemote, Beta: 8e-9, Lambda: alphaRemote / 7},
+			},
+			SelfOverhead: alphaLocal / 2,
+		}
+		fb, err := fabric.New(spec, topo.Block{}, 4, params)
+		if err != nil {
+			return false
+		}
+		pf, err := Measure(mpi.NewWorld(fb), Default())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i == j {
+					continue
+				}
+				if e := relativeErr(pf.O.At(i, j), fb.TrueO(i, j)); e > 0.10 {
+					t.Logf("seed %d: O[%d][%d] err %.1f%%", seed, i, j, 100*e)
+					return false
+				}
+				if e := relativeErr(pf.L.At(i, j), fb.TrueL(i, j)); e > 0.10 {
+					t.Logf("seed %d: L[%d][%d] err %.1f%%", seed, i, j, 100*e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func relativeErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestPaperProtocolRecoversParameters(t *testing.T) {
+	// The paper's exact §IV.A protocol (sizes 1..2^20, batches 1..32, 25
+	// reps) on a small noisy job: estimates must stay within 15% despite the
+	// megabyte-scale transfer points dominating the fit range.
+	spec := topo.Spec{Name: "paper-proto", Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 2}
+	params := fabric.Params{
+		Classes: map[topo.LinkClass]fabric.Link{
+			topo.SameSocket: {Alpha: 10e-6, Beta: 1e-9, Lambda: 2e-6, Sigma: 0.05},
+			topo.CrossNode:  {Alpha: 50e-6, Beta: 8e-9, Lambda: 8e-6, Sigma: 0.08},
+		},
+		SelfOverhead: 1e-6,
+		SelfSigma:    0.05,
+		Seed:         42,
+	}
+	f, err := fabric.New(spec, topo.Block{}, 4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Measure(mpi.NewWorld(f), Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if e := relativeErr(pf.O.At(i, j), f.TrueO(i, j)); e > 0.15 {
+				t.Errorf("paper-protocol O[%d][%d] err %.1f%%", i, j, 100*e)
+			}
+			if e := relativeErr(pf.L.At(i, j), f.TrueL(i, j)); e > 0.15 {
+				t.Errorf("paper-protocol L[%d][%d] err %.1f%%", i, j, 100*e)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package profile defines the topological profile of a platform: the paper's
+// O and L matrices (§IV), their persistence format, and the metric-space view
+// the clustering stage requires.
+//
+// A profile is the *only* information the adaptive tuner receives about a
+// platform. It is collected once per machine by internal/probe and stored on
+// disk, decoupling (as in the paper's Figure 1) the profiling runs from the
+// generation and evaluation of candidate barriers.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"topobarrier/internal/mat"
+)
+
+// Profile holds the measured topological model of a P-process platform.
+type Profile struct {
+	// Platform is a free-form description of the machine and placement the
+	// profile was captured under. Predictions are only valid when the run
+	// time placement matches (§III: "valid predictions require consistency
+	// between the run time conditions reflected in the profile and those of
+	// an experimental verification").
+	Platform string
+	// P is the number of processes.
+	P int
+	// O[i][j] estimates the startup overhead of one message from i to j;
+	// O[i][i] estimates the cost of initiating a request that sends nothing
+	// (the paper's Oii).
+	O *mat.Dense
+	// L[i][j] estimates the marginal latency of adding a message from i to j
+	// to a non-empty simultaneous send batch.
+	L *mat.Dense
+}
+
+// New returns an empty profile for p processes.
+func New(platform string, p int) *Profile {
+	return &Profile{Platform: platform, P: p, O: mat.NewDense(p), L: mat.NewDense(p)}
+}
+
+// Validate reports an error if the profile is structurally unusable.
+func (pr *Profile) Validate() error {
+	if pr.P <= 0 {
+		return fmt.Errorf("profile: non-positive process count %d", pr.P)
+	}
+	if pr.O == nil || pr.L == nil {
+		return fmt.Errorf("profile: missing matrices")
+	}
+	if pr.O.N() != pr.P || pr.L.N() != pr.P {
+		return fmt.Errorf("profile: matrix sizes %d/%d do not match P=%d", pr.O.N(), pr.L.N(), pr.P)
+	}
+	for i := 0; i < pr.P; i++ {
+		for j := 0; j < pr.P; j++ {
+			if pr.O.At(i, j) < 0 || pr.L.At(i, j) < 0 {
+				return fmt.Errorf("profile: negative cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Symmetrize enforces the paper's link-symmetry assumption (Oij == Oji) by
+// averaging mirrored entries of both matrices, and returns the profile.
+func (pr *Profile) Symmetrize() *Profile {
+	pr.O.Symmetrize()
+	pr.L.Symmetrize()
+	return pr
+}
+
+// Distance returns the metric used for rank clustering: the symmetrised
+// startup overhead between two distinct ranks, and 0 for i == j. With a
+// symmetric profile this satisfies the metric-space requirements of SSS
+// clustering (positivity, symmetry; the triangle inequality holds for
+// hierarchical interconnects whose layer costs dominate).
+func (pr *Profile) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return (pr.O.At(i, j) + pr.O.At(j, i)) / 2
+}
+
+// Diameter returns the largest pairwise distance.
+func (pr *Profile) Diameter() float64 {
+	d := 0.0
+	for i := 0; i < pr.P; i++ {
+		for j := i + 1; j < pr.P; j++ {
+			if v := pr.Distance(i, j); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// Sub returns the profile restricted to the given ranks; entry (a, b) of the
+// result describes the pair (ranks[a], ranks[b]) of the original.
+func (pr *Profile) Sub(ranks []int) *Profile {
+	return &Profile{
+		Platform: pr.Platform,
+		P:        len(ranks),
+		O:        pr.O.Sub(ranks),
+		L:        pr.L.Sub(ranks),
+	}
+}
+
+// profileJSON is the on-disk representation.
+type profileJSON struct {
+	Platform string      `json:"platform"`
+	P        int         `json:"p"`
+	O        [][]float64 `json:"o"`
+	L        [][]float64 `json:"l"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (pr *Profile) MarshalJSON() ([]byte, error) {
+	enc := profileJSON{Platform: pr.Platform, P: pr.P}
+	enc.O = toRows(pr.O)
+	enc.L = toRows(pr.L)
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (pr *Profile) UnmarshalJSON(data []byte) error {
+	var dec profileJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	if len(dec.O) != dec.P || len(dec.L) != dec.P {
+		return fmt.Errorf("profile: decoded matrices of %d/%d rows for P=%d", len(dec.O), len(dec.L), dec.P)
+	}
+	pr.Platform = dec.Platform
+	pr.P = dec.P
+	pr.O = mat.DenseFromRows(dec.O)
+	pr.L = mat.DenseFromRows(dec.L)
+	return pr.Validate()
+}
+
+func toRows(m *mat.Dense) [][]float64 {
+	rows := make([][]float64, m.N())
+	for i := range rows {
+		rows[i] = make([]float64, m.N())
+		for j := range rows[i] {
+			rows[i][j] = m.At(i, j)
+		}
+	}
+	return rows
+}
+
+// Save writes the profile to path as JSON.
+func (pr *Profile) Save(path string) error {
+	if err := pr.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pr, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a profile previously written by Save.
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Profile{}
+	if err := json.Unmarshal(data, pr); err != nil {
+		return nil, fmt.Errorf("profile: decoding %s: %w", path, err)
+	}
+	return pr, nil
+}

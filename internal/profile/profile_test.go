@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topobarrier/internal/mat"
+)
+
+func sample() *Profile {
+	pr := New("test machine", 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				pr.O.Set(i, j, 1e-6)
+				continue
+			}
+			// Two "nodes" {0,1} and {2,3}.
+			if i/2 == j/2 {
+				pr.O.Set(i, j, 2e-6)
+				pr.L.Set(i, j, 0.5e-6)
+			} else {
+				pr.O.Set(i, j, 50e-6)
+				pr.L.Set(i, j, 8e-6)
+			}
+		}
+	}
+	return pr
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad.O.Set(1, 2, -1)
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("negative cost accepted")
+	}
+	if err := (&Profile{P: 0}).Validate(); err == nil {
+		t.Fatalf("P=0 accepted")
+	}
+	mismatch := sample()
+	mismatch.P = 5
+	if err := mismatch.Validate(); err == nil {
+		t.Fatalf("size mismatch accepted")
+	}
+	if err := (&Profile{P: 2}).Validate(); err == nil {
+		t.Fatalf("nil matrices accepted")
+	}
+}
+
+func TestDistanceAndDiameter(t *testing.T) {
+	pr := sample()
+	if pr.Distance(0, 0) != 0 {
+		t.Fatalf("self distance nonzero")
+	}
+	if pr.Distance(0, 1) != 2e-6 {
+		t.Fatalf("local distance = %g", pr.Distance(0, 1))
+	}
+	if pr.Distance(0, 2) != pr.Distance(2, 0) {
+		t.Fatalf("distance asymmetric")
+	}
+	if pr.Diameter() != 50e-6 {
+		t.Fatalf("diameter = %g", pr.Diameter())
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	pr := sample()
+	pr.O.Set(0, 1, 4e-6)
+	pr.O.Set(1, 0, 2e-6)
+	pr.Symmetrize()
+	if pr.O.At(0, 1) != 3e-6 || pr.O.At(1, 0) != 3e-6 {
+		t.Fatalf("Symmetrize wrong: %g %g", pr.O.At(0, 1), pr.O.At(1, 0))
+	}
+}
+
+func TestSub(t *testing.T) {
+	pr := sample()
+	sub := pr.Sub([]int{1, 3})
+	if sub.P != 2 {
+		t.Fatalf("sub P = %d", sub.P)
+	}
+	if sub.O.At(0, 1) != pr.O.At(1, 3) || sub.L.At(1, 0) != pr.L.At(3, 1) {
+		t.Fatalf("sub entries wrong")
+	}
+	if sub.O.At(0, 0) != pr.O.At(1, 1) {
+		t.Fatalf("sub diagonal wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pr := sample()
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := pr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Platform != pr.Platform || got.P != pr.P {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	for i := 0; i < pr.P; i++ {
+		for j := 0; j < pr.P; j++ {
+			if math.Abs(got.O.At(i, j)-pr.O.At(i, j)) > 1e-18 ||
+				math.Abs(got.L.At(i, j)-pr.L.At(i, j)) > 1e-18 {
+				t.Fatalf("entry (%d,%d) lost", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	pr := &Profile{}
+	if err := pr.UnmarshalJSON([]byte(`{"platform":"x","p":3,"o":[[0]],"l":[[0]]}`)); err == nil {
+		t.Fatalf("truncated matrices accepted")
+	}
+	if err := pr.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	bad := sample()
+	bad.O.Set(0, 1, -5)
+	if err := bad.Save(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatalf("invalid profile saved")
+	}
+}
+
+func TestHeatMapStructure(t *testing.T) {
+	pr := sample()
+	hm := HeatMap(pr.L, "L matrix")
+	if !strings.Contains(hm, "L matrix") {
+		t.Fatalf("title missing:\n%s", hm)
+	}
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	// Title + column header + 4 rows.
+	if len(lines) != 6 {
+		t.Fatalf("heat map has %d lines:\n%s", len(lines), hm)
+	}
+	// Slow cross-node cells must be darker (later glyph) than local cells.
+	rows := lines[2:]
+	local := rows[0][strings.IndexByte(rows[0], '·')-2] // not robust; use direct compare below
+	_ = local
+	// Row 0: columns are (·, local, remote, remote): the remote glyph should
+	// be '@' (max) and the local one ' ' (min).
+	if !strings.Contains(rows[0], "@") {
+		t.Fatalf("max cell not rendered dark:\n%s", hm)
+	}
+}
+
+func TestHeatMapUniformMatrix(t *testing.T) {
+	m := mat.NewDense(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				m.Set(i, j, 5)
+			}
+		}
+	}
+	hm := HeatMap(m, "uniform")
+	if !strings.Contains(hm, "·") {
+		t.Fatalf("diagonal marker missing:\n%s", hm)
+	}
+}
+
+func TestPGMFormat(t *testing.T) {
+	pr := sample()
+	img := PGM(pr.L)
+	if !strings.HasPrefix(img, "P2\n4 4\n255\n") {
+		t.Fatalf("bad PGM header:\n%s", img)
+	}
+	lines := strings.Split(strings.TrimRight(img, "\n"), "\n")
+	if len(lines) != 3+4 {
+		t.Fatalf("PGM has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[3], "255") {
+		t.Fatalf("row 0 lacks a max-intensity pixel: %q", lines[3])
+	}
+}

@@ -1,0 +1,192 @@
+package run
+
+import (
+	"strings"
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mat"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/topo"
+)
+
+func testWorld(t testing.TB, p int, seed uint64) *mpi.World {
+	t.Helper()
+	spec := topo.Spec{Name: "run-test", Nodes: 4, SocketsPerNode: 1, CoresPerSocket: 8}
+	params := fabric.Params{
+		Classes: map[topo.LinkClass]fabric.Link{
+			topo.SameSocket: {Alpha: 2e-6, Beta: 0.4e-9, Lambda: 0.3e-6},
+			topo.CrossNode:  {Alpha: 55e-6, Beta: 8e-9, Lambda: 8e-6},
+		},
+		SelfOverhead: 1e-6,
+		Seed:         seed,
+	}
+	f, err := fabric.New(spec, topo.RoundRobin{}, p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.NewWorld(f)
+}
+
+func TestBarrierInterpreterSynchronises(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8, 13} {
+		for _, s := range []*sched.Schedule{sched.Linear(p), sched.Dissemination(p), sched.Tree(p)} {
+			if err := Validate(testWorld(t, p, 1), ScheduleFunc(s), 0.5, nil); err != nil {
+				t.Fatalf("%s at p=%d: %v", s.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBrokenPattern(t *testing.T) {
+	// Disconnect rank 3 completely: it exits immediately and nobody waits
+	// for it, so delaying rank 3 must reveal the failure.
+	p := 4
+	s := sched.Linear(p)
+	s.Stages[0].Set(3, 0, false)
+	s.Stages[1].Set(0, 3, false)
+	err := Validate(testWorld(t, p, 1), ScheduleFunc(s), 0.5, []int{3})
+	if err == nil || !strings.Contains(err.Error(), "exited") {
+		t.Fatalf("broken pattern passed validation: %v", err)
+	}
+}
+
+func TestValidateArgumentChecks(t *testing.T) {
+	w := testWorld(t, 2, 1)
+	f := ScheduleFunc(sched.Linear(2))
+	if err := Validate(w, f, 0, nil); err == nil {
+		t.Fatalf("zero delay accepted")
+	}
+	if err := Validate(w, f, 1, []int{5}); err == nil {
+		t.Fatalf("out-of-range delay rank accepted")
+	}
+}
+
+func TestSingleRankBarrier(t *testing.T) {
+	s := sched.Tree(1)
+	m, err := Measure(testWorld(t, 1, 1), ScheduleFunc(s), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean != 0 {
+		t.Fatalf("1-rank barrier cost %g", m.Mean)
+	}
+}
+
+func TestMeasureBasics(t *testing.T) {
+	p := 16
+	m, err := Measure(testWorld(t, p, 2), ScheduleFunc(sched.Tree(p)), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean <= 0 {
+		t.Fatalf("mean = %g", m.Mean)
+	}
+	if m.Iters != 5 || m.Warmup != 2 {
+		t.Fatalf("bookkeeping wrong: %+v", m)
+	}
+	// A 16-rank barrier crossing 55µs links a couple of times must cost tens
+	// to hundreds of µs, not seconds.
+	if m.Mean < 10e-6 || m.Mean > 5e-3 {
+		t.Fatalf("mean = %g implausible", m.Mean)
+	}
+}
+
+func TestMeasureRejectsBadArgs(t *testing.T) {
+	w := testWorld(t, 2, 1)
+	f := ScheduleFunc(sched.Linear(2))
+	if _, err := Measure(w, f, 0, 0); err == nil {
+		t.Fatalf("zero iters accepted")
+	}
+	if _, err := Measure(w, f, -1, 1); err == nil {
+		t.Fatalf("negative warmup accepted")
+	}
+}
+
+func TestMeasuredOrderingLinearVsTree(t *testing.T) {
+	// At p=32 spanning 4 nodes, the serialized linear barrier must be the
+	// slowest of the three classic algorithms (Figures 5-6).
+	p := 32
+	lin, err := Measure(testWorld(t, p, 3), ScheduleFunc(sched.Linear(p)), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Measure(testWorld(t, p, 3), ScheduleFunc(sched.Tree(p)), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Mean >= lin.Mean {
+		t.Fatalf("tree (%g) not faster than linear (%g)", tree.Mean, lin.Mean)
+	}
+}
+
+func TestPlanMatchesInterpreterExactly(t *testing.T) {
+	// Same fabric seed, same op order → bit-identical virtual timings.
+	for _, p := range []int{5, 8, 22} {
+		for _, gen := range []func(int) *sched.Schedule{sched.Linear, sched.Dissemination, sched.Tree} {
+			s := gen(p)
+			mi, err := Measure(testWorld(t, p, 7), ScheduleFunc(s), 1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := NewPlan(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := Measure(testWorld(t, p, 7), pl.Func(), 1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mi.Mean != mp.Mean {
+				t.Fatalf("%s p=%d: interpreter %g != plan %g", s.Name, p, mi.Mean, mp.Mean)
+			}
+		}
+	}
+}
+
+func TestNewPlanRejectsNonBarrier(t *testing.T) {
+	s := sched.LinearArrival(4) // arrival only: not a barrier
+	if _, err := NewPlan(s); err == nil {
+		t.Fatalf("non-barrier compiled")
+	}
+	bad := sched.New("self", 3)
+	m := sched.Linear(3).Stages[0].Clone()
+	m.Set(1, 1, true)
+	bad.AddStage(m)
+	if _, err := NewPlan(bad); err == nil {
+		t.Fatalf("invalid schedule compiled")
+	}
+}
+
+func TestPlanEmptyStageElimination(t *testing.T) {
+	lin := sched.Linear(4)
+	s := sched.New("holey-linear", 4)
+	s.AddStage(lin.Stages[0])
+	s.AddStage(mat.NewBool(4)) // no-op stage
+	s.AddStage(lin.Stages[1])
+	pl, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stages != 2 {
+		t.Fatalf("empty stage not eliminated: %d stages", pl.Stages)
+	}
+	if err := Validate(testWorld(t, 4, 1), pl.Func(), 0.25, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPlanBarrier32(b *testing.B) {
+	pl, err := NewPlan(sched.Tree(32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := testWorld(b, 32, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(w, pl.Func(), 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"topobarrier/internal/sched"
+)
+
+// ExampleDissemination reproduces the paper's Figure 3: the two-stage
+// dissemination pattern for four ranks.
+func ExampleDissemination() {
+	s := sched.Dissemination(4)
+	fmt.Print(s)
+	// Output:
+	// dissemination(4): 4 ranks, 2 stages, 8 signals
+	// S0 =
+	// 0 1 0 0
+	// 0 0 1 0
+	// 0 0 0 1
+	// 1 0 0 0
+	// S1 =
+	// 0 0 1 0
+	// 0 0 0 1
+	// 1 0 0 0
+	// 0 1 0 0
+}
+
+// ExampleSchedule_IsBarrier demonstrates the Eq. 3 verification: a tree
+// arrival phase alone does not synchronise, the full tree does.
+func ExampleSchedule_IsBarrier() {
+	fmt.Println(sched.TreeArrival(8).IsBarrier())
+	fmt.Println(sched.Tree(8).IsBarrier())
+	// Output:
+	// false
+	// true
+}
+
+// ExampleSchedule_ReverseTransposed shows the §V.B symmetry: an arrival
+// phase plus its reversed transposes forms a barrier.
+func ExampleSchedule_ReverseTransposed() {
+	arr := sched.LinearArrival(5)
+	full := arr.Clone().Concat(arr.ReverseTransposed())
+	fmt.Println(full.NumStages(), full.IsBarrier())
+	// Output:
+	// 2 true
+}

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScheduleJSON hardens the persistence decoder: arbitrary input must
+// either fail cleanly or produce a schedule that validates and survives a
+// re-encode round trip.
+func FuzzScheduleJSON(f *testing.F) {
+	seed, err := json.Marshal(Tree(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","p":2,"stages":[[[0,1]],[[1,0]]]}`))
+	f.Add([]byte(`{"name":"","p":0,"stages":[]}`))
+	f.Add([]byte(`{"p":3,"stages":[[[0,0]]]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // rejected, fine
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid schedule: %v", err)
+		}
+		out, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Schedule
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !back.Equal(&s) {
+			t.Fatalf("round trip changed the schedule")
+		}
+		// Analysis entry points must not panic on any accepted schedule.
+		_ = s.IsBarrier()
+		_ = s.Knowledge()
+		_ = s.SignalCount()
+		_ = s.DropEmptyStages()
+		_ = s.ReverseTransposed()
+	})
+}

@@ -1,0 +1,218 @@
+// Package search explores the admissible space of barrier signal patterns
+// beyond the paper's greedy construction — the generalisation §VII.B and
+// §VIII leave as future work.
+//
+// Two strategies are provided. Exhaustive enumerates every sequence of
+// incidence matrices up to a stage budget for very small P, establishing the
+// true optimum the heuristics can be compared against. Anneal runs a
+// deterministic local search (hill climbing with restarts over signal-level
+// mutations) that scales to realistic sizes and is seeded with the best
+// classic algorithm or a composed hybrid.
+package search
+
+import (
+	"fmt"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/stats"
+)
+
+// Result is a searched barrier and its predicted cost.
+type Result struct {
+	Schedule *sched.Schedule
+	Cost     float64
+	// Examined counts candidate schedules whose cost was evaluated.
+	Examined int
+}
+
+// Exhaustive enumerates all stage sequences of length 1..maxStages over all
+// boolean P×P incidence matrices without self-signals, and returns the
+// cheapest one that globally synchronises. It is exponential in P²·stages
+// and refuses P > 3 or budgets above 2 stages beyond P=3 unless force is
+// set; with P=3 and maxStages=2 it examines ~4000 sequences.
+func Exhaustive(pd *predict.Predictor, maxStages int, force bool) (*Result, error) {
+	p := pd.Prof.P
+	if !force && (p > 3 || maxStages > 2) {
+		return nil, fmt.Errorf("search: exhaustive over P=%d, %d stages is intractable (use force)", p, maxStages)
+	}
+	if maxStages < 1 {
+		return nil, fmt.Errorf("search: non-positive stage budget %d", maxStages)
+	}
+	edges := p * (p - 1)
+	if edges >= 63 {
+		return nil, fmt.Errorf("search: P=%d has too many edges to enumerate", p)
+	}
+	numMatrices := 1 << uint(edges)
+
+	best := &Result{}
+	var rec func(prefix []*mat.Bool)
+	rec = func(prefix []*mat.Bool) {
+		if len(prefix) > 0 {
+			s := sched.New(fmt.Sprintf("exhaustive(%d)", p), p)
+			for _, m := range prefix {
+				s.AddStage(m.Clone())
+			}
+			best.Examined++
+			if s.IsBarrier() {
+				c := pd.Cost(s)
+				if best.Schedule == nil || c < best.Cost {
+					best.Schedule, best.Cost = s, c
+				}
+			}
+		}
+		if len(prefix) == maxStages {
+			return
+		}
+		for code := 1; code < numMatrices; code++ {
+			rec(append(prefix, matrixFromCode(p, uint64(code))))
+		}
+	}
+	rec(nil)
+	if best.Schedule == nil {
+		return nil, fmt.Errorf("search: no barrier within %d stages (impossible for maxStages ≥ 1)", maxStages)
+	}
+	return best, nil
+}
+
+// matrixFromCode decodes a bitmask over the p(p-1) ordered off-diagonal
+// entries (row-major) into an incidence matrix.
+func matrixFromCode(p int, code uint64) *mat.Bool {
+	m := mat.NewBool(p)
+	bit := 0
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			if code&(1<<uint(bit)) != 0 {
+				m.Set(i, j, true)
+			}
+			bit++
+		}
+	}
+	return m
+}
+
+// AnnealOptions configures the local search.
+type AnnealOptions struct {
+	// Seed drives mutation choices; identical seeds replay identical
+	// searches.
+	Seed uint64
+	// Steps is the number of mutation attempts per restart (default 2000).
+	Steps int
+	// Restarts is the number of independent runs (default 3).
+	Restarts int
+	// MaxStages bounds schedule growth (default: 2 + stages of the seed).
+	MaxStages int
+}
+
+func (o AnnealOptions) withDefaults(seedSched *sched.Schedule) AnnealOptions {
+	if o.Steps <= 0 {
+		o.Steps = 2000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.MaxStages <= 0 {
+		o.MaxStages = seedSched.NumStages() + 2
+	}
+	return o
+}
+
+// Anneal performs hill climbing from the given seed schedule: random
+// signal-level mutations (add a signal, remove a signal, move a signal to
+// another stage) are kept when the mutant still synchronises and does not
+// predict slower. The best schedule across restarts is returned.
+func Anneal(pd *predict.Predictor, seedSched *sched.Schedule, opts AnnealOptions) (*Result, error) {
+	if !seedSched.IsBarrier() {
+		return nil, fmt.Errorf("search: seed %q is not a barrier", seedSched.Name)
+	}
+	if seedSched.P != pd.Prof.P {
+		return nil, fmt.Errorf("search: seed over %d ranks vs %d-rank profile", seedSched.P, pd.Prof.P)
+	}
+	opts = opts.withDefaults(seedSched)
+
+	best := &Result{Schedule: seedSched.Clone(), Cost: pd.Cost(seedSched)}
+	for r := 0; r < opts.Restarts; r++ {
+		rng := stats.NewRNG(opts.Seed + uint64(r)*0x9e3779b97f4a7c15)
+		cur := seedSched.Clone()
+		curCost := pd.Cost(cur)
+		for step := 0; step < opts.Steps; step++ {
+			mut := mutate(cur, rng, opts.MaxStages)
+			if mut == nil {
+				continue
+			}
+			best.Examined++
+			if !mut.IsBarrier() {
+				continue
+			}
+			c := pd.Cost(mut)
+			if c <= curCost {
+				cur, curCost = mut, c
+			}
+		}
+		cur = cur.DropEmptyStages()
+		if cur.IsBarrier() {
+			if c := pd.Cost(cur); c < best.Cost {
+				best.Schedule, best.Cost = cur, c
+			}
+		}
+	}
+	best.Schedule.Name = fmt.Sprintf("annealed(%s)", seedSched.Name)
+	return best, nil
+}
+
+// mutate returns a mutated clone, or nil when the drawn mutation does not
+// apply.
+func mutate(s *sched.Schedule, rng *stats.RNG, maxStages int) *sched.Schedule {
+	m := s.Clone()
+	if m.NumStages() == 0 {
+		return nil
+	}
+	p := m.P
+	switch rng.Intn(4) {
+	case 0: // remove a random signal
+		k := rng.Intn(m.NumStages())
+		i := rng.Intn(p)
+		row := m.Stages[k].Row(i)
+		if len(row) == 0 {
+			return nil
+		}
+		m.Stages[k].Set(i, row[rng.Intn(len(row))], false)
+	case 1: // add a random signal
+		k := rng.Intn(m.NumStages())
+		i, j := rng.Intn(p), rng.Intn(p)
+		if i == j || m.Stages[k].At(i, j) {
+			return nil
+		}
+		m.Stages[k].Set(i, j, true)
+	case 2: // move a signal to a neighbouring stage
+		k := rng.Intn(m.NumStages())
+		i := rng.Intn(p)
+		row := m.Stages[k].Row(i)
+		if len(row) == 0 {
+			return nil
+		}
+		j := row[rng.Intn(len(row))]
+		dk := k + 1 - 2*rng.Intn(2)
+		if dk < 0 || dk >= m.NumStages() {
+			return nil
+		}
+		m.Stages[k].Set(i, j, false)
+		m.Stages[dk].Set(i, j, true)
+	default: // append a fresh empty stage for mutations to grow into
+		if m.NumStages() >= maxStages {
+			return nil
+		}
+		m.AddStage(mat.NewBool(p))
+		// Seed it with one random signal so it is not trivially dropped.
+		i, j := rng.Intn(p), rng.Intn(p)
+		if i == j {
+			return nil
+		}
+		m.Stages[m.NumStages()-1].Set(i, j, true)
+	}
+	return m
+}

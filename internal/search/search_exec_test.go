@@ -1,0 +1,26 @@
+package search
+
+import (
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/mpi"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/topo"
+)
+
+// newWorld builds a quad-cluster world for execution checks.
+func newWorld(t testing.TB, p int) *mpi.World {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.NewWorld(f)
+}
+
+// validateSchedule runs the paper's delay-injection check on a schedule.
+func validateSchedule(w *mpi.World, s *sched.Schedule) error {
+	return run.Validate(w, run.ScheduleFunc(s), 0.5, []int{0, w.Size() / 2, w.Size() - 1})
+}

@@ -1,0 +1,235 @@
+package sss
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/topo"
+)
+
+// quadProfile is the oracle profile of the paper's quad cluster placed with
+// the given placement.
+func quadProfile(t testing.TB, pl topo.Placement, p int) *profile.Profile {
+	t.Helper()
+	f, err := fabric.QuadClusterFabric(pl, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.TrueProfile()
+}
+
+func nodesOf(t *testing.T, clusters [][]int, pr *profile.Profile) {
+	t.Helper()
+	for _, cl := range clusters {
+		for _, a := range cl {
+			for _, b := range cl {
+				if pr.Distance(a, b) > 10e-6 {
+					t.Fatalf("cluster %v spans a slow link (%d,%d)", cl, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatFindsNodeClustersBlock(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 24) // 3 nodes of 8
+	all := make([]int, 24)
+	for i := range all {
+		all[i] = i
+	}
+	clusters := Flat(pr, all, DefaultSparseness)
+	if len(clusters) != 3 {
+		t.Fatalf("found %d clusters, want 3 nodes: %v", len(clusters), clusters)
+	}
+	nodesOf(t, clusters, pr)
+	// Block placement: node k holds ranks 8k..8k+7.
+	for k, cl := range clusters {
+		if len(cl) != 8 || cl[0] != k*8 {
+			t.Fatalf("cluster %d = %v", k, cl)
+		}
+	}
+}
+
+func TestFlatFindsNodeClustersRoundRobin(t *testing.T) {
+	pr := quadProfile(t, topo.RoundRobin{}, 22) // 3 nodes, the Figure 10 case
+	all := make([]int, 22)
+	for i := range all {
+		all[i] = i
+	}
+	clusters := Flat(pr, all, DefaultSparseness)
+	if len(clusters) != 3 {
+		t.Fatalf("found %d clusters, want 3: %v", len(clusters), clusters)
+	}
+	nodesOf(t, clusters, pr)
+	// Round-robin: rank r lives on node r mod 3; cluster of rank 0 must be
+	// {0, 3, 6, ...}.
+	want := []int{0, 3, 6, 9, 12, 15, 18, 21}
+	got := clusters[0]
+	if len(got) != len(want) {
+		t.Fatalf("cluster 0 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster 0 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlatSingletonAndEmpty(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 8)
+	if got := Flat(pr, []int{5}, 0.35); len(got) != 1 || got[0][0] != 5 {
+		t.Fatalf("singleton clustering = %v", got)
+	}
+	if got := Flat(pr, nil, 0.35); got != nil {
+		t.Fatalf("empty clustering = %v", got)
+	}
+}
+
+func TestFlatUniformDistancesSplitToSingletons(t *testing.T) {
+	pr := profile.New("uniform", 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				pr.O.Set(i, j, 10e-6)
+			}
+		}
+	}
+	all := []int{0, 1, 2, 3, 4}
+	clusters := Flat(pr, all, 0.35)
+	if len(clusters) != 5 {
+		t.Fatalf("uniform profile produced %d clusters, want 5 singletons", len(clusters))
+	}
+}
+
+func TestTreeHierarchyOnQuadCluster(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 32) // 4 nodes
+	root := Tree(pr, Options{})
+	if root.IsLeaf() {
+		t.Fatalf("root is a leaf")
+	}
+	if len(root.Children) != 4 {
+		t.Fatalf("top level has %d clusters, want 4 nodes", len(root.Children))
+	}
+	// All 32 ranks present exactly once across the leaves.
+	seen := map[int]bool{}
+	for _, leaf := range root.Leaves() {
+		for _, r := range leaf.Ranks {
+			if seen[r] {
+				t.Fatalf("rank %d in two leaves", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("leaves cover %d ranks", len(seen))
+	}
+	// The quad node exposes cache-pair locality below node level, so the
+	// tree should be deeper than two levels with unlimited depth.
+	if root.Depth() < 3 {
+		t.Fatalf("depth = %d, expected sub-node locality to split further", root.Depth())
+	}
+}
+
+func TestTreeMaxDepthTwoLevel(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 32)
+	root := Tree(pr, Options{MaxDepth: 1})
+	if root.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2 (the paper's reported hierarchy)", root.Depth())
+	}
+	for _, c := range root.Children {
+		if !c.IsLeaf() {
+			t.Fatalf("child not leaf under MaxDepth=1")
+		}
+	}
+}
+
+func TestTreeMinDiameterStopsRecursion(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 32)
+	// Intra-node distances are ≤ ~1.6µs; with a 5µs floor, nodes stay whole.
+	root := Tree(pr, Options{MinDiameter: 5e-6})
+	if root.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2 with MinDiameter floor", root.Depth())
+	}
+}
+
+func TestTreeSingleRank(t *testing.T) {
+	pr := profile.New("one", 1)
+	root := Tree(pr, Options{})
+	if !root.IsLeaf() || len(root.Ranks) != 1 {
+		t.Fatalf("1-rank tree wrong: %v", root)
+	}
+	if root.Representative() != 0 {
+		t.Fatalf("representative = %d", root.Representative())
+	}
+}
+
+func TestRepresentativeIsLowestRank(t *testing.T) {
+	pr := quadProfile(t, topo.RoundRobin{}, 22)
+	root := Tree(pr, Options{MaxDepth: 1})
+	reps := map[int]bool{}
+	for _, c := range root.Children {
+		reps[c.Representative()] = true
+		sorted := append([]int(nil), c.Ranks...)
+		sort.Ints(sorted)
+		if c.Ranks[0] != sorted[0] {
+			t.Fatalf("ranks not sorted: %v", c.Ranks)
+		}
+	}
+	// With round-robin over 3 nodes, the lowest ranks per node are 0, 1, 2.
+	for _, want := range []int{0, 1, 2} {
+		if !reps[want] {
+			t.Fatalf("representatives %v missing %d", reps, want)
+		}
+	}
+}
+
+func TestStringRendersNesting(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 16)
+	root := Tree(pr, Options{MaxDepth: 1})
+	s := root.String()
+	if !strings.HasPrefix(s, "[[") || !strings.Contains(s, "15") {
+		t.Fatalf("tree dump = %s", s)
+	}
+}
+
+func TestSparsenessExtremes(t *testing.T) {
+	pr := quadProfile(t, topo.Block{}, 16)
+	all := make([]int, 16)
+	for i := range all {
+		all[i] = i
+	}
+	// Sparseness 1: nothing exceeds the diameter, so one cluster remains.
+	one := Flat(pr, all, 1.0)
+	if len(one) != 1 {
+		t.Fatalf("near-1 sparseness produced %d clusters", len(one))
+	}
+	// Tiny sparseness: everything splits apart.
+	many := Flat(pr, all, 1e-9)
+	if len(many) != 16 {
+		t.Fatalf("tiny sparseness produced %d clusters", len(many))
+	}
+}
+
+func TestOptionsDefaultSparseness(t *testing.T) {
+	if (Options{}).sparseness() != DefaultSparseness {
+		t.Fatalf("default sparseness wrong")
+	}
+	if (Options{Sparseness: 0.5}).sparseness() != 0.5 {
+		t.Fatalf("explicit sparseness ignored")
+	}
+}
+
+func BenchmarkTree64(b *testing.B) {
+	f, err := fabric.QuadClusterFabric(topo.Block{}, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := f.TrueProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Tree(pr, Options{})
+	}
+}
