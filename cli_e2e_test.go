@@ -1,6 +1,7 @@
 package topobarrier_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,6 +19,23 @@ func runCmd(t *testing.T, args ...string) string {
 		t.Fatalf("go run %v: %v\n%s", args, err, out)
 	}
 	return string(out)
+}
+
+// runCmdExit executes a command that may legitimately exit non-zero and
+// returns its combined output and exit code.
+func runCmdExit(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
 }
 
 // TestCLIPipeline drives profilecluster → predictbarrier → tunebarrier →
@@ -125,6 +143,73 @@ func TestCLIBarrierLib(t *testing.T) {
 	out = runCmd(t, "./cmd/barrierlib", "list", "-dir", dir)
 	if !strings.Contains(out, "P=12") {
 		t.Fatalf("list output: %s", out)
+	}
+}
+
+// TestCLIBarrierVet drives the static analyzer end to end: a schedule that
+// breaks Eq. 3 must exit non-zero with a concrete (i,j) witness, a genuine
+// barrier must report clean, a linear barrier with gratuitous extra edges
+// must surface removable redundant signals, and the runbarrier gate must
+// refuse the broken schedule before execution.
+func TestCLIBarrierVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the barriervet command")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	good := filepath.Join(dir, "good.json")
+	fat := filepath.Join(dir, "fat.json")
+	// bad: only 1→0 over three ranks; rank 2 is isolated.
+	if err := os.WriteFile(bad, []byte(`{"name":"broken(3)","p":3,"stages":[[[1,0]]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// good: the full linear barrier over three ranks.
+	if err := os.WriteFile(good, []byte(`{"name":"linear(3)","p":3,"stages":[[[1,0],[2,0]],[[0,1],[0,2]]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// fat: linear(3) plus a redundant extra edge 1→2 in the departure stage.
+	if err := os.WriteFile(fat, []byte(`{"name":"linear-plus(3)","p":3,"stages":[[[1,0],[2,0]],[[0,1],[0,2],[1,2]]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := runCmdExit(t, "./cmd/barriervet", bad)
+	if code == 0 {
+		t.Fatalf("barriervet exit 0 on a non-barrier:\n%s", out)
+	}
+	for _, want := range []string{"NOT A BARRIER", "sync-witness", "never learns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("barriervet output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, code = runCmdExit(t, "./cmd/barriervet", good)
+	if code != 0 {
+		t.Fatalf("barriervet exit %d on a clean barrier:\n%s", code, out)
+	}
+	if !strings.Contains(out, "BARRIER (Eq. 3 satisfied)") {
+		t.Fatalf("barriervet clean report:\n%s", out)
+	}
+
+	out, code = runCmdExit(t, "./cmd/barriervet", fat)
+	if code != 0 {
+		t.Fatalf("barriervet exit %d on redundant-but-valid barrier:\n%s", code, out)
+	}
+	if !strings.Contains(out, "redundant-signals") {
+		t.Fatalf("barriervet did not flag the removable signal:\n%s", out)
+	}
+
+	out, code = runCmdExit(t, "./cmd/barriervet", "-json", bad)
+	if code == 0 || !strings.Contains(out, `"severity": "error"`) {
+		t.Fatalf("barriervet -json output (exit %d):\n%s", code, out)
+	}
+
+	// The pre-execution gate: runbarrier must refuse the broken schedule.
+	out, code = runCmdExit(t, "./cmd/runbarrier", "-cluster", "quad", "-p", "3", "-alg", bad, "-iters", "1")
+	if code == 0 || !strings.Contains(out, "barriervet") {
+		t.Fatalf("runbarrier did not gate on analysis (exit %d):\n%s", code, out)
 	}
 }
 

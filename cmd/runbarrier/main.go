@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"topobarrier/internal/analyze"
 	"topobarrier/internal/baseline"
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/mpi"
@@ -116,6 +117,16 @@ func resolve(alg string, p int) (string, run.Func, error) {
 		}
 		if s.P != p {
 			return "", nil, fmt.Errorf("schedule %q is for %d ranks, job has %d", s.Name, s.P, p)
+		}
+		// Loaded schedules are untrusted: vet them before execution and
+		// refuse Error-severity findings with the full diagnosis.
+		rep := analyze.Analyze(&s, analyze.Options{SkipRedundancy: true})
+		if err := rep.Err(); err != nil {
+			fmt.Fprint(os.Stderr, rep)
+			return "", nil, fmt.Errorf("schedule %s fails barriervet: %w", alg, err)
+		}
+		if n := rep.Count(analyze.Warning); n > 0 {
+			fmt.Fprintf(os.Stderr, "barriervet: %d warnings for %q (run cmd/barriervet for details)\n", n, s.Name)
 		}
 		plan, err := run.NewPlan(&s)
 		if err != nil {

@@ -33,6 +33,9 @@ func main() {
 	}
 	fmt.Printf("tuned %s: %d stages, predicted %.1fµs on the target\n",
 		tuned.Schedule().Name, tuned.Schedule().NumStages(), tuned.PredictedCost()*1e6)
+	// Every tuned barrier carries its barriervet report; Tune would have
+	// refused the schedule outright on Error-severity findings.
+	fmt.Printf("barriervet: verified barrier, %d non-error findings\n", len(tuned.Report.Findings))
 
 	// 2. Stand up a real TCP mesh (each rank is a goroutine here; across
 	//    machines, distribute the address list instead).

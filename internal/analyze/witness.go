@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/sched"
+)
+
+// witnesses explains a failed Eq. 3 verdict: it reports the total number of
+// knowledge pairs that never propagate, and for up to max of them a concrete
+// counterexample — the stage after which propagation of the source rank's
+// arrival stalls, and the shortest static signal chain between the pair
+// together with the hop whose stage ordering breaks it.
+func witnesses(s *sched.Schedule, ks []*mat.Bool, max int) []Finding {
+	final := mat.Identity(s.P)
+	if len(ks) > 0 {
+		final = ks[len(ks)-1]
+	}
+	missing := s.P*s.P - final.Count()
+	fs := []Finding{{
+		Check: "sync", Severity: Error, Stage: -1,
+		Message: fmt.Sprintf("%d of %d knowledge pairs never propagate; the pattern does not globally synchronise", missing, s.P*s.P),
+	}}
+
+	adj := unionAdjacency(s)
+	reported := 0
+	for i := 0; i < s.P && reported < max; i++ {
+		for j := 0; j < s.P && reported < max; j++ {
+			if final.At(i, j) {
+				continue
+			}
+			fs = append(fs, witnessPair(s, ks, adj, i, j))
+			reported++
+		}
+	}
+	if missing > reported {
+		fs = append(fs, Finding{
+			Check: "sync-witness", Severity: Info, Stage: -1,
+			Message: fmt.Sprintf("%d further stalled pairs omitted (raise MaxWitnesses to see them)", missing-reported),
+		})
+	}
+	return fs
+}
+
+// witnessPair builds the Error finding for one stalled pair (i, j).
+func witnessPair(s *sched.Schedule, ks []*mat.Bool, adj [][]int, i, j int) Finding {
+	stall := stallStage(ks, i)
+	reach := 1
+	if len(ks) > 0 {
+		reach = len(ks[len(ks)-1].Row(i))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank %d never learns that rank %d entered the barrier", j, i)
+	if stall < 0 {
+		fmt.Fprintf(&b, "; rank %d's arrival never leaves it (no signal carries it anywhere)", i)
+	} else {
+		fmt.Fprintf(&b, "; propagation of rank %d's arrival stalls after stage %d, having reached %d of %d ranks", i, stall, reach, s.P)
+	}
+
+	f := Finding{
+		Check: "sync-witness", Severity: Error, Stage: stall,
+		Pair: &Pair{From: i, To: j},
+	}
+	chain := shortestChain(adj, i, j)
+	if chain == nil {
+		fmt.Fprintf(&b, "; no signal chain connects %d to %d in any stage — a signal %d→%d (in any stage) is the shortest fix", i, j, i, j)
+	} else {
+		f.Chain = chain
+		hopFrom, hopTo, after := chainBreak(s, chain)
+		fmt.Fprintf(&b, "; shortest chain %s exists statically but breaks at hop %d→%d, which occurs in no stage ≥ %d",
+			chainString(chain), hopFrom, hopTo, after)
+	}
+	f.Message = b.String()
+	return f
+}
+
+// stallStage returns the last stage index at which rank i's arrival reached
+// any new rank, or -1 when it never propagated beyond i itself.
+func stallStage(ks []*mat.Bool, i int) int {
+	prev := 1 // identity: i knows only itself before stage 0
+	stall := -1
+	for a, k := range ks {
+		if n := len(k.Row(i)); n > prev {
+			stall = a
+			prev = n
+		}
+	}
+	return stall
+}
+
+// unionAdjacency collapses all stages into one directed graph.
+func unionAdjacency(s *sched.Schedule) [][]int {
+	u := mat.NewBool(s.P)
+	for _, st := range s.Stages {
+		u.Or(st)
+	}
+	adj := make([][]int, s.P)
+	for i := 0; i < s.P; i++ {
+		adj[i] = u.Row(i)
+	}
+	return adj
+}
+
+// shortestChain returns the shortest path i→…→j in the union graph (BFS),
+// or nil when no path exists at all.
+func shortestChain(adj [][]int, i, j int) []int {
+	if i == j {
+		return []int{i}
+	}
+	prev := make([]int, len(adj))
+	for k := range prev {
+		prev[k] = -1
+	}
+	prev[i] = i
+	queue := []int{i}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if prev[v] != -1 {
+				continue
+			}
+			prev[v] = u
+			if v == j {
+				var path []int
+				for at := j; at != i; at = prev[at] {
+					path = append(path, at)
+				}
+				path = append(path, i)
+				for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+					path[l], path[r] = path[r], path[l]
+				}
+				return path
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+// chainBreak walks a static chain greedily through the stage sequence
+// (knowledge crosses one hop per stage, in stage order) and returns the
+// first hop that cannot be scheduled: its endpoints and the earliest stage
+// from which it would have been needed. Every static chain of a stalled
+// pair must break, because a schedulable chain would have set the pair.
+func chainBreak(s *sched.Schedule, chain []int) (hopFrom, hopTo, after int) {
+	t := 0
+	for h := 0; h+1 < len(chain); h++ {
+		u, v := chain[h], chain[h+1]
+		found := -1
+		for k := t; k < s.NumStages(); k++ {
+			if s.Stages[k].At(u, v) {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return u, v, t
+		}
+		t = found + 1
+	}
+	// Unreachable for stalled pairs; return the last hop defensively.
+	return chain[len(chain)-2], chain[len(chain)-1], t
+}
+
+func chainString(chain []int) string {
+	parts := make([]string, len(chain))
+	for i, r := range chain {
+		parts[i] = fmt.Sprint(r)
+	}
+	return strings.Join(parts, "→")
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"topobarrier/internal/analyze"
 	"topobarrier/internal/codegen"
 	"topobarrier/internal/compose"
 	"topobarrier/internal/mpi"
@@ -43,6 +44,9 @@ type Tuned struct {
 	Tree *sss.Node
 	// Result holds the composed schedule and the per-cluster decisions.
 	Result *compose.Result
+	// Report is the barriervet static analysis of the composed schedule;
+	// schedules with Error-severity findings never reach this struct.
+	Report *analyze.Report
 	// Plan is the flattened executable form of the schedule.
 	Plan *run.Plan
 }
@@ -76,11 +80,19 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Static analysis gates plan compilation and source emission: a composed
+	// schedule with Error-severity findings is a composer bug and must not
+	// execute; the report also rides along on the Tuned value so callers can
+	// surface warnings and redundancy opportunities.
+	rep := analyze.Analyze(res.Schedule, analyze.Options{Predictor: pd})
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("core: composed schedule fails barriervet: %w", err)
+	}
 	plan, err := run.NewPlan(res.Schedule)
 	if err != nil {
 		return nil, err
 	}
-	return &Tuned{Profile: pf, Tree: tree, Result: res, Plan: plan}, nil
+	return &Tuned{Profile: pf, Tree: tree, Result: res, Report: rep, Plan: plan}, nil
 }
 
 // ProfileAndTune profiles the platform of a world with the given benchmark

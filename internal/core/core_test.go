@@ -46,6 +46,25 @@ func TestTuneProducesValidSpecialisedBarrier(t *testing.T) {
 	}
 }
 
+// TestTuneCarriesVetReport: every Tuned barrier carries its barriervet
+// report, the report agrees the schedule is a barrier, and it is free of
+// Error-severity findings (which would have aborted Tune).
+func TestTuneCarriesVetReport(t *testing.T) {
+	tuned, err := Tune(quadWorld(t, 24, 1).Fabric().TrueProfile(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Report == nil {
+		t.Fatal("Tuned.Report is nil")
+	}
+	if !tuned.Report.Barrier {
+		t.Fatalf("report disputes barrier verdict:\n%s", tuned.Report)
+	}
+	if err := tuned.Report.Err(); err != nil {
+		t.Fatalf("tuned schedule carries error findings: %v", err)
+	}
+}
+
 func TestTunePredictsNoWorseThanPureComponents(t *testing.T) {
 	pf := quadWorld(t, 40, 2).Fabric().TrueProfile()
 	tuned, err := Tune(pf, Options{})

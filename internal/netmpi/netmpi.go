@@ -24,7 +24,9 @@ import (
 	"sync"
 	"time"
 
+	"topobarrier/internal/analyze"
 	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
 )
 
 // Peer is one rank's endpoint in the fully connected mesh.
@@ -289,6 +291,24 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 		}
 	}
 	return nil
+}
+
+// VetPlan is the pre-execution gate for real-network runs: it runs the
+// barriervet static analysis over the schedule and compiles it only when the
+// report carries no Error-severity findings. Unlike run.NewPlan's bare
+// boolean check, a refusal explains itself — the returned report holds the
+// stalled knowledge pairs and chain counterexamples, and is returned even on
+// failure so callers can render it.
+func VetPlan(s *sched.Schedule, opts analyze.Options) (*run.Plan, *analyze.Report, error) {
+	rep := analyze.Analyze(s, opts)
+	if err := rep.Err(); err != nil {
+		return nil, rep, fmt.Errorf("netmpi: refusing to execute: %w", err)
+	}
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		return nil, rep, err
+	}
+	return pl, rep, nil
 }
 
 // MeasureBarrier times iters wall-clock barrier executions after warmup

@@ -1,0 +1,146 @@
+package netmpi
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topobarrier/internal/analyze"
+	"topobarrier/internal/mat"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+)
+
+// TestConcurrentDeliveryAndShutdown is the race regression for the mesh's
+// concurrency structure: per-connection reader goroutines demultiplex frames
+// into mailboxes while every rank concurrently executes barriers, then ranks
+// block in Recv on tags that never arrive while other ranks keep sending and
+// all peers shut down mid-wait. Run under -race in CI, it pins down the
+// mailbox map locking, the reader/Close handoff, and the error propagation
+// on teardown.
+func TestConcurrentDeliveryAndShutdown(t *testing.T) {
+	const p = 4
+	peers := mesh(t, p)
+	pl, err := run.NewPlan(sched.Tree(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: concurrent barrier traffic keeps all reader goroutines and
+	// mailboxes hot, with alternating tag windows like the simulator.
+	var wg sync.WaitGroup
+	for _, pe := range peers {
+		pe := pe
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := pe.Barrier(pl, (i%2)*run.TagSpan, meshTimeout); err != nil {
+					t.Errorf("rank %d barrier %d: %v", pe.Rank(), i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Phase 2: every rank blocks in Recv on a tag nobody sends while its
+	// neighbours keep delivering on a different tag (bounded well below the
+	// mailbox capacity), and all peers close concurrently mid-wait. Nothing
+	// may deadlock; the pending receives must return (timeout or error).
+	var waiters sync.WaitGroup
+	for _, pe := range peers {
+		pe := pe
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			// Tag 9999 is never sent; the deadline must fire even as the
+			// peer is being torn down underneath the wait.
+			if _, err := pe.Recv((pe.Rank()+1)%p, 9999, 100*time.Millisecond); err == nil {
+				t.Errorf("rank %d: Recv on silent tag returned without error", pe.Rank())
+			}
+		}()
+	}
+	var senders sync.WaitGroup
+	for _, pe := range peers {
+		pe := pe
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < 32; i++ {
+				// Errors are expected once teardown begins; the assertion
+				// is the race detector and termination, not delivery.
+				_ = pe.Send((pe.Rank()+1)%p, 7777, []byte{byte(i)})
+			}
+		}()
+	}
+	var closers sync.WaitGroup
+	for _, pe := range peers {
+		pe := pe
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			time.Sleep(10 * time.Millisecond) // let some waits and sends start
+			pe.Close()
+		}()
+	}
+	senders.Wait()
+	closers.Wait()
+	waiters.Wait()
+}
+
+// TestVetPlanGate checks the pre-execution gate: a broken schedule is
+// refused with a witness-bearing report, and a genuine barrier compiles.
+func TestVetPlanGate(t *testing.T) {
+	broken := sched.New("broken(3)", 3)
+	m := mat.NewBool(3)
+	m.Set(1, 0, true)
+	broken.AddStage(m)
+
+	pl, rep, err := VetPlan(broken, analyze.Options{})
+	if err == nil || pl != nil {
+		t.Fatal("VetPlan accepted a non-barrier")
+	}
+	if rep == nil || rep.Err() == nil {
+		t.Fatal("no diagnostic report returned on refusal")
+	}
+	if !strings.Contains(err.Error(), "refusing to execute") {
+		t.Errorf("error does not name the gate: %v", err)
+	}
+	witness := false
+	for _, f := range rep.Findings {
+		if f.Check == "sync-witness" && f.Pair != nil {
+			witness = true
+		}
+	}
+	if !witness {
+		t.Errorf("report carries no (i,j) witness:\n%s", rep)
+	}
+
+	pl, rep, err = VetPlan(sched.Dissemination(5), analyze.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil || rep == nil || !rep.Barrier {
+		t.Fatal("vetted plan or report missing for a genuine barrier")
+	}
+
+	// The vetted plan must actually run over the mesh.
+	peers := mesh(t, 5)
+	var wg sync.WaitGroup
+	for _, pe := range peers {
+		pe := pe
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pe.Barrier(pl, 0, meshTimeout); err != nil {
+				t.Errorf("rank %d: %v", pe.Rank(), err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,15 +1,21 @@
-package sched
+// The fuzz targets live in the external test package so they can exercise
+// the barriervet analyzer (internal/analyze imports sched; an in-package
+// test would form an import cycle).
+package sched_test
 
 import (
 	"encoding/json"
 	"testing"
+
+	"topobarrier/internal/analyze"
+	"topobarrier/internal/sched"
 )
 
 // FuzzScheduleJSON hardens the persistence decoder: arbitrary input must
 // either fail cleanly or produce a schedule that validates and survives a
 // re-encode round trip.
 func FuzzScheduleJSON(f *testing.F) {
-	seed, err := json.Marshal(Tree(5))
+	seed, err := json.Marshal(sched.Tree(5))
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -19,7 +25,7 @@ func FuzzScheduleJSON(f *testing.F) {
 	f.Add([]byte(`{"p":3,"stages":[[[0,0]]]}`))
 	f.Add([]byte(`garbage`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var s Schedule
+		var s sched.Schedule
 		if err := json.Unmarshal(data, &s); err != nil {
 			return // rejected, fine
 		}
@@ -30,7 +36,7 @@ func FuzzScheduleJSON(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		var back Schedule
+		var back sched.Schedule
 		if err := json.Unmarshal(out, &back); err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
@@ -43,5 +49,49 @@ func FuzzScheduleJSON(f *testing.F) {
 		_ = s.SignalCount()
 		_ = s.DropEmptyStages()
 		_ = s.ReverseTransposed()
+	})
+}
+
+// FuzzAnalyzeAgreesWithIsBarrier asserts the barriervet analyzer never
+// panics on any schedule the decoder accepts — or on schedules that fail
+// Validate but decode structurally — and that its Eq. 3 verdict always
+// agrees with Schedule.IsBarrier().
+func FuzzAnalyzeAgreesWithIsBarrier(f *testing.F) {
+	for _, s := range []*sched.Schedule{
+		sched.Linear(6), sched.Dissemination(8), sched.Tree(7),
+		sched.RingArrival(4), sched.LinearArrival(5),
+	} {
+		seed, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"name":"broken","p":3,"stages":[[[1,0]]]}`))
+	f.Add([]byte(`{"name":"void","p":4,"stages":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s sched.Schedule
+		// Analyse even Validate-rejected schedules (the analyzer must
+		// diagnose, not crash), but only structurally decodable ones.
+		if err := json.Unmarshal(data, &s); err != nil && s.P <= 0 {
+			return
+		}
+		// Bound the work: the recurrence is O(stages·P³/64) and fuzzing
+		// explores adversarial sizes.
+		if s.P > 64 || s.NumStages() > 16 {
+			return
+		}
+		rep := analyze.Analyze(&s, analyze.Options{})
+		if rep.Barrier != s.IsBarrier() {
+			t.Fatalf("verdict mismatch for %q: analyzer %v, IsBarrier %v",
+				s.Name, rep.Barrier, s.IsBarrier())
+		}
+		if !rep.Barrier && s.P > 1 && rep.Err() == nil {
+			t.Fatalf("non-barrier %q produced no Error finding", s.Name)
+		}
+		// The report must always be JSON-serialisable.
+		if _, err := json.Marshal(rep); err != nil {
+			t.Fatalf("report not serialisable: %v", err)
+		}
 	})
 }

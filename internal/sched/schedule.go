@@ -59,10 +59,14 @@ func (s *Schedule) Clone() *Schedule {
 }
 
 // Validate reports an error if any stage has the wrong dimension or contains
-// a self-signal.
+// a self-signal, or if the schedule is degenerate: more than one rank but no
+// stages at all, so no signal could ever propagate.
 func (s *Schedule) Validate() error {
 	if s.P <= 0 {
 		return fmt.Errorf("sched: %q has %d ranks", s.Name, s.P)
+	}
+	if s.P > 1 && len(s.Stages) == 0 {
+		return fmt.Errorf("sched: %q has no stages but %d ranks — nothing can synchronise", s.Name, s.P)
 	}
 	for k, st := range s.Stages {
 		if st.N() != s.P {
