@@ -6,8 +6,12 @@
 // Usage:
 //
 //	searchbarrier -profile profile.json [-seed-alg hybrid|tree|dissemination|linear]
-//	              [-steps N] [-restarts N] [-rngseed N] [-o schedule.json]
+//	              [-steps N] [-restarts N] [-workers N] [-budget N] [-rngseed N]
+//	              [-progress] [-o schedule.json]
 //	searchbarrier -profile tiny.json -exhaustive [-stages N]
+//
+// The portfolio result is bit-identical for any -workers value; the flag only
+// trades wall-clock time for cores.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"topobarrier/internal/core"
 	"topobarrier/internal/predict"
@@ -29,7 +34,10 @@ func main() {
 		seedAlg    = flag.String("seed-alg", "hybrid", "starting schedule: hybrid, tree, dissemination, linear")
 		steps      = flag.Int("steps", 4000, "mutation attempts per restart")
 		restarts   = flag.Int("restarts", 3, "independent restarts")
+		workers    = flag.Int("workers", 0, "worker goroutines for the restart portfolio (0 = all cores); does not affect the result")
+		budget     = flag.Int("budget", 0, "total candidate evaluations across all restarts (0 = steps×restarts)")
 		rngseed    = flag.Uint64("rngseed", 1, "search randomness seed")
+		progress   = flag.Bool("progress", false, "report exchange-round progress on stderr")
 		exhaustive = flag.Bool("exhaustive", false, "enumerate the full space (P ≤ 3)")
 		stages     = flag.Int("stages", 2, "stage budget for exhaustive search")
 		out        = flag.String("o", "", "write the best schedule as JSON")
@@ -55,15 +63,29 @@ func main() {
 			fatal(err)
 		}
 		before := pd.Cost(seed)
-		res, err = search.Anneal(pd, seed, search.AnnealOptions{
+		opts := search.AnnealOptions{
 			Seed: *rngseed, Steps: *steps, Restarts: *restarts,
-		})
+			Workers: *workers, Budget: *budget,
+		}
+		if *progress {
+			opts.Progress = func(pr search.Progress) {
+				fmt.Fprintf(os.Stderr, "round %d/%d: %d candidates examined, best %.1fµs (restart %d)\n",
+					pr.Round, pr.Rounds, pr.Examined, pr.BestCost*1e6, pr.Elite)
+			}
+		}
+		start := time.Now()
+		res, err = search.Anneal(pd, seed, opts)
+		elapsed := time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("seed %s: predicted %.1fµs\n", seed.Name, before*1e6)
 		fmt.Printf("searched %d candidates: predicted %.1fµs (%.1f%% better)\n",
 			res.Examined, res.Cost*1e6, 100*(before-res.Cost)/before)
+		if elapsed > 0 {
+			fmt.Printf("throughput: %.0f candidates/s over %s\n",
+				float64(res.Examined)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+		}
 	}
 	fmt.Printf("result: %d stages, %d signals, barrier verified: %v\n",
 		res.Schedule.NumStages(), res.Schedule.SignalCount(), res.Schedule.IsBarrier())

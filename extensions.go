@@ -27,6 +27,9 @@ type (
 	SearchResult = search.Result
 	// AnnealOptions configures the local search.
 	AnnealOptions = search.AnnealOptions
+	// SearchProgress is one per-round snapshot of the portfolio annealer,
+	// delivered through AnnealOptions.Progress.
+	SearchProgress = search.Progress
 )
 
 // ExhaustiveSearch enumerates every stage sequence for tiny jobs (P ≤ 3).

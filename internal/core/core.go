@@ -18,6 +18,7 @@ import (
 	"topobarrier/internal/profile"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
+	"topobarrier/internal/search"
 	"topobarrier/internal/sss"
 )
 
@@ -34,6 +35,18 @@ type Options struct {
 	Policy predict.CostPolicy
 	// StageOverhead is the per-stage penalty of the predictor.
 	StageOverhead float64
+	// Refine, when positive, follows the greedy composition with that many
+	// candidate evaluations of local-search refinement (§VIII future work),
+	// seeded with the composed schedule. A refined schedule replaces the
+	// composed one only when it prices cheaper and passes the same barriervet
+	// gate; otherwise the composition stands. The pass is deterministic for a
+	// fixed RefineSeed regardless of RefineWorkers.
+	Refine int
+	// RefineSeed is the refinement search's randomness seed.
+	RefineSeed uint64
+	// RefineWorkers bounds the refinement portfolio's goroutines; 0 uses all
+	// cores. It never changes the result, only the wall-clock time.
+	RefineWorkers int
 }
 
 // Tuned is a specialised barrier produced for one profiled platform.
@@ -87,6 +100,23 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	rep := analyze.Analyze(res.Schedule, analyze.Options{Predictor: pd})
 	if err := rep.Err(); err != nil {
 		return nil, fmt.Errorf("core: composed schedule fails barriervet: %w", err)
+	}
+	if opts.Refine > 0 {
+		sres, err := search.Anneal(pd, res.Schedule, search.AnnealOptions{
+			Seed: opts.RefineSeed, Budget: opts.Refine, Workers: opts.RefineWorkers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: refinement search: %w", err)
+		}
+		if sres.Cost < res.PredictedCost {
+			// The refined schedule must clear the same gate as the composition;
+			// an Error finding keeps the composed schedule instead of failing
+			// the pipeline, since a verified fallback is in hand.
+			if rrep := analyze.Analyze(sres.Schedule, analyze.Options{Predictor: pd}); rrep.Err() == nil {
+				res.Schedule, res.PredictedCost = sres.Schedule, sres.Cost
+				rep = rrep
+			}
+		}
 	}
 	plan, err := run.NewPlan(res.Schedule)
 	if err != nil {

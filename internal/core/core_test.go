@@ -46,6 +46,42 @@ func TestTuneProducesValidSpecialisedBarrier(t *testing.T) {
 	}
 }
 
+// TestTuneRefinementNeverRegresses: with Refine set, Tune follows the greedy
+// composition with a local-search pass. The refined result must still be a
+// barrier, clear barriervet, price no worse than the plain composition, run
+// correctly, and be deterministic regardless of the worker count.
+func TestTuneRefinementNeverRegresses(t *testing.T) {
+	w := quadWorld(t, 24, 1)
+	pf := w.Fabric().TrueProfile()
+	plain, err := Tune(pf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Tune(pf, Options{Refine: 4000, RefineSeed: 7, RefineWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refined.Schedule().IsBarrier() {
+		t.Fatalf("refined schedule not a barrier")
+	}
+	if err := refined.Report.Err(); err != nil {
+		t.Fatalf("refined schedule carries error findings: %v", err)
+	}
+	if refined.PredictedCost() > plain.PredictedCost() {
+		t.Fatalf("refinement regressed: %g > %g", refined.PredictedCost(), plain.PredictedCost())
+	}
+	if err := run.Validate(w, refined.Func(), 0.5, []int{0, 7, 23}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Tune(pf, Options{Refine: 4000, RefineSeed: 7, RefineWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Schedule().Equal(refined.Schedule()) {
+		t.Fatalf("refinement depends on worker count")
+	}
+}
+
 // TestTuneCarriesVetReport: every Tuned barrier carries its barriervet
 // report, the report agrees the schedule is a barrier, and it is free of
 // Error-severity findings (which would have aborted Tune).

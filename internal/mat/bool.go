@@ -113,6 +113,102 @@ func (m *Bool) Col(j int) []int {
 	return out
 }
 
+// RowWords returns the bitset words backing row i. The slice aliases the
+// matrix storage: writes through it mutate the matrix, and it is invalidated
+// by nothing (the backing array never reallocates). It exists so word-at-a-
+// time kernels — the incremental knowledge recurrence, schedule hashing —
+// can avoid the per-bit At/Set accessors and the allocation in Row.
+func (m *Bool) RowWords(i int) []uint64 {
+	m.check(i, 0)
+	return m.rows[i*m.words : (i+1)*m.words]
+}
+
+// OrRowInto ORs row i into dst, which must have exactly WordsPerRow words.
+// It is the inner step of the knowledge recurrence (spreading rank m's
+// knowledge along the signals it sends) without constructing index slices.
+func (m *Bool) OrRowInto(i int, dst []uint64) {
+	m.check(i, 0)
+	if len(dst) != m.words {
+		panic(fmt.Sprintf("mat: OrRowInto dst has %d words, want %d", len(dst), m.words))
+	}
+	src := m.rows[i*m.words : (i+1)*m.words]
+	for w := range dst {
+		dst[w] |= src[w]
+	}
+}
+
+// SpreadRow computes dst = src | OR_{b set in src} row b of m, where src and
+// dst are row bitsets of m's dimension (WordsPerRow words each) and dst does
+// not alias src. It is one row of the knowledge recurrence K + K·S — the
+// whole inner loop of the incremental evaluator — done with direct storage
+// access instead of per-bit accessor calls.
+func (m *Bool) SpreadRow(src, dst []uint64) {
+	if len(src) != m.words || len(dst) != m.words {
+		panic(fmt.Sprintf("mat: SpreadRow rows have %d/%d words, want %d", len(src), len(dst), m.words))
+	}
+	if m.words == 1 {
+		word := src[0]
+		acc := word
+		for word != 0 {
+			b := trailingZeros(word)
+			word &^= 1 << uint(b)
+			acc |= m.rows[b]
+		}
+		dst[0] = acc
+		return
+	}
+	copy(dst, src)
+	for w := 0; w < m.words; w++ {
+		word := src[w]
+		for word != 0 {
+			b := trailingZeros(word)
+			word &^= 1 << uint(b)
+			base := (w*wordBits + b) * m.words
+			row := m.rows[base : base+m.words]
+			for x := range dst {
+				dst[x] |= row[x]
+			}
+		}
+	}
+}
+
+// WordsPerRow returns the number of uint64 words backing each row.
+func (m *Bool) WordsPerRow() int { return m.words }
+
+// Words exposes the full backing word slice, rows concatenated in order, each
+// WordsPerRow long. It exists for evaluation loops that walk every row of a
+// stage matrix and cannot afford a bounds-checked accessor call per row; the
+// slice aliases matrix storage and writes through it must respect the padding
+// bits (kept zero) past column N-1 in each row's last word.
+func (m *Bool) Words() []uint64 { return m.rows }
+
+// OrColInto sets bit i of dst for every row i whose entry (i, j) is set; dst
+// is a bitset over row indices with at least (N+63)/64 words. It is the
+// column-scan of the incremental knowledge recurrence (which rows spread
+// along signal j) without per-entry accessor calls.
+func (m *Bool) OrColInto(j int, dst []uint64) {
+	m.check(0, j)
+	if len(dst) < (m.n+wordBits-1)/wordBits {
+		panic(fmt.Sprintf("mat: OrColInto dst has %d words for %d rows", len(dst), m.n))
+	}
+	w := j / wordBits
+	bit := uint64(1) << (uint(j) % wordBits)
+	for i := 0; i < m.n; i++ {
+		if m.rows[i*m.words+w]&bit != 0 {
+			dst[i/wordBits] |= 1 << (uint(i) % wordBits)
+		}
+	}
+}
+
+// CopyFrom overwrites m with the entries of o (same dimension required)
+// without allocating.
+func (m *Bool) CopyFrom(o *Bool) {
+	if m.n != o.n {
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %d vs %d", m.n, o.n))
+	}
+	copy(m.rows, o.rows)
+}
+
 // Clone returns a deep copy of m.
 func (m *Bool) Clone() *Bool {
 	c := NewBool(m.n)
@@ -120,13 +216,34 @@ func (m *Bool) Clone() *Bool {
 	return c
 }
 
-// Equal reports whether m and o have the same dimension and entries.
+// Equal reports whether m and o have the same dimension and entries. Identical
+// matrices and equal-by-words matrices short-circuit without a bit-level scan.
 func (m *Bool) Equal(o *Bool) bool {
+	if m == o {
+		return true
+	}
 	if m.n != o.n {
 		return false
 	}
 	for k := range m.rows {
 		if m.rows[k] != o.rows[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// RowEqual reports whether row i of m equals row oi of o, word by word.
+func (m *Bool) RowEqual(i int, o *Bool, oi int) bool {
+	m.check(i, 0)
+	o.check(oi, 0)
+	if m.n != o.n {
+		return false
+	}
+	a := m.rows[i*m.words : (i+1)*m.words]
+	b := o.rows[oi*o.words : (oi+1)*o.words]
+	for w := range a {
+		if a[w] != b[w] {
 			return false
 		}
 	}
@@ -144,8 +261,29 @@ func (m *Bool) IsZero() bool {
 }
 
 // AllSet reports whether every entry is set (the Eq. 3 barrier condition).
+// It compares words directly and exits at the first hole, so the common
+// not-yet-saturated case costs one word, not a full popcount.
 func (m *Bool) AllSet() bool {
-	return m.Count() == m.n*m.n
+	if m.n == 0 {
+		return true
+	}
+	tail := m.words - 1
+	tailMask := ^uint64(0)
+	if r := uint(m.n % wordBits); r != 0 {
+		tailMask = (uint64(1) << r) - 1
+	}
+	for i := 0; i < m.n; i++ {
+		base := i * m.words
+		for w := 0; w < tail; w++ {
+			if m.rows[base+w] != ^uint64(0) {
+				return false
+			}
+		}
+		if m.rows[base+tail] != tailMask {
+			return false
+		}
+	}
+	return true
 }
 
 // Count returns the number of set entries.
@@ -220,6 +358,47 @@ func Propagate(k, s *Bool) *Bool {
 	return r
 }
 
+// PropagateInto computes dst = K + K·S without allocating: the in-place form
+// of Propagate for evaluators that reuse per-stage knowledge matrices. dst
+// must not alias k or s. Rows of K that are already saturated (all bits set)
+// are copied without the spread loop: knowledge is monotone, so a full row
+// stays full — and in the closing stages of a barrier most rows are full,
+// which is where the recurrence otherwise spends its time.
+func PropagateInto(dst, k, s *Bool) {
+	if k.n != s.n || dst.n != k.n {
+		panic(fmt.Sprintf("mat: PropagateInto dimension mismatch %d/%d/%d", dst.n, k.n, s.n))
+	}
+	copy(dst.rows, k.rows)
+	full := k.words - 1
+	tailMask := ^uint64(0)
+	if r := uint(k.n % wordBits); r != 0 {
+		tailMask = (uint64(1) << r) - 1
+	}
+	for i := 0; i < k.n; i++ {
+		base := i * k.words
+		sat := k.rows[base+full] == tailMask
+		for w := 0; sat && w < full; w++ {
+			sat = k.rows[base+w] == ^uint64(0)
+		}
+		if sat {
+			continue
+		}
+		out := dst.rows[base : base+dst.words]
+		for w := 0; w < k.words; w++ {
+			word := k.rows[base+w]
+			for word != 0 {
+				b := trailingZeros(word)
+				word &^= 1 << uint(b)
+				mrow := (w*wordBits + b) * s.words
+				src := s.rows[mrow : mrow+s.words]
+				for x := range out {
+					out[x] |= src[x]
+				}
+			}
+		}
+	}
+}
+
 // String renders the matrix as rows of 0/1 characters, suitable for tests and
 // small stage dumps (as in the paper's Figures 2-4).
 func (m *Bool) String() string {
@@ -251,14 +430,20 @@ func popcount(x uint64) int {
 	return int((x * 0x0101010101010101) >> 56)
 }
 
+// deBruijn64 and its table map an isolated low bit to its index in O(1);
+// like popcount above, this keeps the kernel free of math/bits.
+const deBruijn64 = 0x03f79d71b4ca8b09
+
+var deBruijnIdx = [64]int{
+	0, 1, 56, 2, 57, 49, 28, 3, 61, 58, 42, 50, 38, 29, 17, 4,
+	62, 47, 59, 36, 45, 43, 51, 22, 53, 39, 33, 30, 24, 18, 12, 5,
+	63, 55, 48, 27, 60, 41, 37, 16, 46, 35, 44, 21, 52, 32, 23, 11,
+	54, 26, 40, 15, 34, 20, 31, 10, 25, 14, 19, 9, 13, 8, 7, 6,
+}
+
 func trailingZeros(x uint64) int {
 	if x == 0 {
 		return 64
 	}
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
+	return deBruijnIdx[((x&-x)*deBruijn64)>>58]
 }

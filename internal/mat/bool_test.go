@@ -323,3 +323,133 @@ func BenchmarkBoolMul128(b *testing.B) {
 }
 
 var _ = strings.TrimSpace // keep strings imported if dumps are removed
+
+func TestRowWordsAliasesStorage(t *testing.T) {
+	m := NewBool(70) // two words per row
+	if m.WordsPerRow() != 2 {
+		t.Fatalf("WordsPerRow() = %d, want 2", m.WordsPerRow())
+	}
+	m.Set(3, 65, true)
+	w := m.RowWords(3)
+	if len(w) != 2 {
+		t.Fatalf("RowWords length %d, want 2", len(w))
+	}
+	if w[1]&(1<<1) == 0 {
+		t.Fatalf("bit 65 not visible through RowWords")
+	}
+	// Writes through the view mutate the matrix.
+	w[0] |= 1 << 7
+	if !m.At(3, 7) {
+		t.Fatalf("write through RowWords not visible via At")
+	}
+}
+
+func TestOrRowInto(t *testing.T) {
+	m := NewBool(70)
+	m.Set(1, 0, true)
+	m.Set(1, 69, true)
+	dst := make([]uint64, m.WordsPerRow())
+	dst[0] = 1 << 5
+	m.OrRowInto(1, dst)
+	want := NewBool(70)
+	want.Set(0, 0, true)
+	want.Set(0, 5, true)
+	want.Set(0, 69, true)
+	for w := range dst {
+		if dst[w] != want.RowWords(0)[w] {
+			t.Fatalf("OrRowInto word %d = %#x, want %#x", w, dst[w], want.RowWords(0)[w])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("OrRowInto accepted a short dst")
+		}
+	}()
+	m.OrRowInto(1, dst[:1])
+}
+
+func TestRowEqual(t *testing.T) {
+	a := randBool(70, 1)
+	b := a.Clone()
+	for i := 0; i < 70; i++ {
+		if !a.RowEqual(i, b, i) {
+			t.Fatalf("clone row %d not equal", i)
+		}
+	}
+	b.Set(4, 66, !b.At(4, 66))
+	if a.RowEqual(4, b, 4) {
+		t.Fatalf("differing rows reported equal")
+	}
+	if a.RowEqual(5, b, 5) != true {
+		t.Fatalf("untouched row affected")
+	}
+	if a.RowEqual(0, NewBool(3), 0) {
+		t.Fatalf("dimension mismatch reported equal")
+	}
+}
+
+func TestEqualFastPaths(t *testing.T) {
+	a := randBool(40, 7)
+	if !a.Equal(a) {
+		t.Fatalf("matrix not equal to itself")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatalf("Equal(clone) failed")
+	}
+	if a.Equal(NewBool(40)) {
+		t.Fatalf("non-empty matrix equal to empty")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := randBool(33, 9)
+	b := NewBool(33)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatalf("CopyFrom did not copy")
+	}
+	b.Set(0, 1, !b.At(0, 1))
+	if b.Equal(a) {
+		t.Fatalf("CopyFrom aliased storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CopyFrom accepted dimension mismatch")
+		}
+	}()
+	b.CopyFrom(NewBool(2))
+}
+
+func TestPropagateIntoMatchesPropagate(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int(seed%9) + 2
+		s := randBool(n, uint64(seed)+5)
+		k := randBool(n, uint64(seed)*3+1)
+		k.Or(Identity(n))
+		dst := NewBool(n)
+		PropagateInto(dst, k, s)
+		return dst.Equal(Propagate(k, s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Sizes spanning multiple words per row.
+	s := randBool(130, 2)
+	k := Identity(130)
+	dst := NewBool(130)
+	PropagateInto(dst, k, s)
+	if !dst.Equal(Propagate(k, s)) {
+		t.Fatalf("PropagateInto diverges from Propagate at n=130")
+	}
+}
+
+func TestTrailingZerosExhaustive(t *testing.T) {
+	for b := 0; b < 64; b++ {
+		if got := trailingZeros(1 << uint(b)); got != b {
+			t.Fatalf("trailingZeros(1<<%d) = %d", b, got)
+		}
+		if got := trailingZeros((1 << uint(b)) | (1 << 63)); got != b {
+			t.Fatalf("trailingZeros with high bit, bit %d: %d", b, got)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package predict
+
+import (
+	"fmt"
+	"math/bits"
+
+	"topobarrier/internal/sched"
+)
+
+// Evaluator is the incremental form of Predictor.Cost for search loops that
+// mutate one working schedule in place. The expensive inputs of the critical
+// path — the per-(rank, stage) send-batch durations of Eqs. 1/2 — are cached
+// and recomputed only for rows the caller marks dirty; the forward
+// critical-path pass itself then runs allocation-free over bitset words. The
+// float operations replicate Predictor.Cost in the exact same order, so for
+// any synchronised state the two agree bit for bit — the determinism contract
+// the parallel portfolio search depends on.
+//
+// A dirty mark is a hint, not a sentence: at the next Cost the evaluator
+// compares the row's bits against a snapshot taken when the row was last
+// priced, and a row whose bits are back to the snapshot — the apply/undo
+// cycle of a rejected or transposition-answered candidate — costs nothing
+// and does not invalidate the completion-time prefix.
+//
+// Contract: after mutating row i of stage k, call Touch(k, i) before the next
+// Cost; after removing trailing stages, call Truncate with the new stage
+// count. Newly appended stages need no Touch — Cost recomputes any stage
+// beyond the last synchronised count in full.
+type Evaluator struct {
+	pd     *Predictor
+	p      int
+	active int         // stages with current cached durations
+	dur    [][]float64 // dur[k][i]: rank i's batch duration in stage k
+	dirty  []rowRef
+	// rowBits[k] snapshots stage k's matrix (p rows × words) as of the last
+	// Cost that priced its rows; the dirty loop compares against it to detect
+	// rows that only moved and moved back.
+	rowBits [][]uint64
+	// times[k][i] caches rank i's completion time after stage k; the first
+	// timesValid stages are current. Only a row whose bits actually changed
+	// invalidates the pass, and only from its stage forward.
+	times      [][]float64
+	timesValid int
+	zero       []float64
+}
+
+type rowRef struct{ stage, rank int }
+
+// NewEvaluator returns an evaluator bound to the predictor's profile.
+func NewEvaluator(pd *Predictor) *Evaluator {
+	p := pd.Prof.P
+	return &Evaluator{pd: pd, p: p, zero: make([]float64, p)}
+}
+
+// Touch marks the batch duration of rank in stage stale.
+func (e *Evaluator) Touch(stage, rank int) {
+	if rank < 0 || rank >= e.p || stage < 0 {
+		panic(fmt.Sprintf("predict: Touch(%d, %d) out of range", stage, rank))
+	}
+	if stage < e.active {
+		e.dirty = append(e.dirty, rowRef{stage, rank})
+	}
+}
+
+// Truncate drops cached durations for stages ≥ n. Callers must invoke it when
+// trailing stages are removed; stages re-appended afterwards are recomputed
+// in full on the next Cost.
+func (e *Evaluator) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < e.active {
+		e.active = n
+	}
+	if n < e.timesValid {
+		e.timesValid = n
+	}
+}
+
+// Cost returns the critical-path prediction for the working schedule,
+// recomputing only rows whose bits moved, newly appeared stages, and the
+// completion-time suffix from the first stage that actually changed.
+func (e *Evaluator) Cost(s *sched.Schedule) float64 {
+	e.pd.check(s)
+	n := s.NumStages()
+	if e.active > n {
+		// Defensive: a truncation the caller forgot to report. Re-syncing here
+		// keeps the cache sound for the shrink itself, though a same-length
+		// truncate-then-append between Cost calls still requires Truncate.
+		e.active = n
+	}
+	if e.timesValid > n {
+		e.timesValid = n
+	}
+	words := 1
+	if n > 0 {
+		words = s.Stages[0].WordsPerRow()
+	}
+	for e.active < n {
+		k := e.active
+		if len(e.dur) <= k {
+			e.dur = append(e.dur, make([]float64, e.p))
+			e.rowBits = append(e.rowBits, make([]uint64, e.p*words))
+		}
+		for i := 0; i < e.p; i++ {
+			e.dur[k][i] = e.rowCost(s, k, i)
+			copy(e.rowBits[k][i*words:(i+1)*words], s.Stages[k].RowWords(i))
+		}
+		if e.timesValid > k {
+			e.timesValid = k
+		}
+		e.active++
+	}
+	for _, r := range e.dirty {
+		if r.stage >= n {
+			continue
+		}
+		row := s.Stages[r.stage].Words()[r.rank*words : (r.rank+1)*words]
+		snap := e.rowBits[r.stage][r.rank*words : (r.rank+1)*words]
+		same := true
+		for w := range row {
+			if row[w] != snap[w] {
+				same = false
+				break
+			}
+		}
+		if same {
+			// The row is back to its last priced state; the cached duration
+			// and any completion times built on it still hold.
+			continue
+		}
+		copy(snap, row)
+		e.dur[r.stage][r.rank] = e.rowCost(s, r.stage, r.rank)
+		if r.stage < e.timesValid {
+			e.timesValid = r.stage
+		}
+	}
+	e.dirty = e.dirty[:0]
+
+	for len(e.times) < n {
+		e.times = append(e.times, make([]float64, e.p))
+	}
+	for k := e.timesValid; k < n; k++ {
+		t := e.zero
+		if k > 0 {
+			t = e.times[k-1]
+		}
+		next := e.times[k]
+		stWords := s.Stages[k].Words()
+		dur := e.dur[k]
+		for i := 0; i < e.p; i++ {
+			next[i] = t[i] + dur[i]
+		}
+		for m := 0; m < e.p; m++ {
+			row := stWords[m*words : (m+1)*words]
+			arr := t[m] + dur[m]
+			for w, word := range row {
+				for word != 0 {
+					i := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if arr > next[i] {
+						next[i] = arr
+					}
+				}
+			}
+		}
+		if e.pd.StageOverhead > 0 {
+			for i := 0; i < e.p; i++ {
+				next[i] += e.pd.StageOverhead
+			}
+		}
+	}
+	e.timesValid = n
+	max := 0.0
+	if n > 0 {
+		for _, v := range e.times[n-1] {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// rowCost replicates BatchCost over the bitset row without building an index
+// slice: identical accumulation order, so results match bit for bit.
+func (e *Evaluator) rowCost(s *sched.Schedule, k, i int) float64 {
+	ready := e.pd.stageReady(k)
+	st := s.Stages[k]
+	wpr := st.WordsPerRow()
+	sumL, maxO := 0.0, 0.0
+	sent := false
+	for w, word := range st.Words()[i*wpr : (i+1)*wpr] {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			sent = true
+			sumL += e.pd.Prof.L.At(i, j)
+			if o := e.pd.Prof.O.At(i, j); o > maxO {
+				maxO = o
+			}
+		}
+	}
+	if !sent {
+		return 0
+	}
+	if ready {
+		return e.pd.Prof.O.At(i, i) + sumL
+	}
+	return maxO + sumL
+}

@@ -1,0 +1,490 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"topobarrier/internal/mat"
+)
+
+// KnowledgeCache is the prefix-reusable form of the Eq. 3 recurrence for
+// evaluators that mutate one working schedule in place: it keeps the
+// knowledge matrix after every stage and re-runs the recurrence only over
+// the rows and stages a mutation can have touched. A from-scratch
+// Schedule.IsBarrier costs O(stages·P³/64) and allocates per stage; the
+// cache exploits the recurrence's structure instead:
+//
+//   - Stage k's knowledge depends only on stage k-1's knowledge and stage
+//     matrix k, so a mutation at stage k leaves the prefix [0, k) intact.
+//   - Row x of K(k) depends only on row x of K(k-1) and the stage matrix, so
+//     a changed-row set can be propagated forward and shrinks whenever a
+//     recomputed row comes out unchanged.
+//   - A single *added* signal (i→j) perturbs every affected row by the same
+//     delta: rows knowing i gain {j} at the mutated stage, and the delta
+//     itself follows the recurrence (D ← D + D·S) — so one row-spread per
+//     stage prices the whole wave, O(1) per affected row.
+//   - Exact single-bit change notes cancel in pairs, so an apply/undo cycle
+//     (a candidate answered by the transposition table) leaves no work.
+//   - Knowledge is monotone: once some stage's matrix is all-set, every later
+//     stage's is too, so verification can stop at the saturation stage and
+//     mutations strictly after it cannot change the verdict.
+//
+// The cache does not observe the schedule; callers own the contract of
+// reporting every mutation before the next Barrier query — NoteSet/NoteClear
+// for exact single-bit edits, InvalidateRow(k, i) for an arbitrary change to
+// row i of stage k, Invalidate(k) for wholesale edits from stage k on. The
+// zero value is not usable; construct with NewKnowledgeCache.
+type KnowledgeCache struct {
+	p    int
+	mats []*mat.Bool // mats[k] = knowledge after stage k, current for k < valid
+	// valid counts the leading stages whose cached knowledge is current,
+	// modulo the recorded pending notes.
+	valid int
+	// sat is a stage whose cached knowledge is all-set, or -1; when set,
+	// valid == sat+1 and stages beyond are deliberately left stale.
+	sat   int
+	ident *mat.Bool
+	// pending records change notes within [0, valid).
+	pending []pendingNote
+	// Rank bitsets and row buffers driving the propagation; all are
+	// (p+63)/64 words since knowledge matrices are square.
+	chA, nextA    []uint64 // rows needing full recompute
+	chU, nextU    []uint64 // rows changed by exactly the uniform delta
+	delta, delta2 []uint64 // the uniform addition delta and its spread buffer
+	scratch       []uint64
+	// The undo journal: every row the last Barrier call overwrote inside the
+	// then-current prefix, with its prior words, plus the prior valid/sat.
+	// Rollback replays it in reverse — restoring a rejected candidate's
+	// evaluation by memcpy instead of re-running the change wave.
+	jRows    []journalRef
+	jArena   []uint64
+	jPending []pendingNote
+	jValid   int
+	jSat     int
+}
+
+type journalRef struct{ stage, row, off int }
+
+// pendingNote kinds: exact set, exact clear, or a whole-row wildcard.
+const (
+	noteSet = iota
+	noteClear
+	noteRow
+)
+
+type pendingNote struct{ kind, stage, i, j int }
+
+// NewKnowledgeCache returns an empty cache for p-rank schedules.
+func NewKnowledgeCache(p int) *KnowledgeCache {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: knowledge cache over %d ranks", p))
+	}
+	w := (p + 63) / 64
+	return &KnowledgeCache{
+		p: p, sat: -1,
+		chA: make([]uint64, w), nextA: make([]uint64, w),
+		chU: make([]uint64, w), nextU: make([]uint64, w),
+		delta: make([]uint64, w), delta2: make([]uint64, w),
+		scratch: make([]uint64, w),
+		jSat:    -1,
+	}
+}
+
+// Invalidate marks stage k and every later stage wholly stale. Use it for
+// edits beyond single rows (adoption of a foreign schedule, stage appends and
+// truncations); Invalidate(0) forces a full recompute.
+func (c *KnowledgeCache) Invalidate(stage int) {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage < c.valid {
+		c.valid = stage
+	}
+	if c.sat >= c.valid {
+		c.sat = -1
+	}
+}
+
+// NoteSet records that entry (i, j) of stage k's matrix changed from clear to
+// set. A pending NoteClear of the same entry cancels against it: the bit is
+// back where the cache last saw it, so neither needs replaying.
+func (c *KnowledgeCache) NoteSet(stage, i, j int) { c.note(noteSet, noteClear, stage, i, j) }
+
+// NoteClear records that entry (i, j) of stage k's matrix changed from set to
+// clear, cancelling a pending NoteSet of the same entry.
+func (c *KnowledgeCache) NoteClear(stage, i, j int) { c.note(noteClear, noteSet, stage, i, j) }
+
+func (c *KnowledgeCache) note(kind, inverse, stage, i, j int) {
+	if i < 0 || i >= c.p || j < 0 || j >= c.p || stage < 0 {
+		panic(fmt.Sprintf("sched: change note (%d, %d, %d) out of range", stage, i, j))
+	}
+	if stage >= c.valid {
+		return // the region is stale already and recomputed in full
+	}
+	for n, pr := range c.pending {
+		if pr.kind == inverse && pr.stage == stage && pr.i == i && pr.j == j {
+			c.pending = append(c.pending[:n], c.pending[n+1:]...)
+			return
+		}
+	}
+	c.pending = append(c.pending, pendingNote{kind, stage, i, j})
+}
+
+// InvalidateRow records that row i of stage k's matrix changed in an
+// unspecified way — the coarse form of NoteSet/NoteClear for callers that do
+// not track individual bits.
+func (c *KnowledgeCache) InvalidateRow(stage, row int) {
+	if row < 0 || row >= c.p || stage < 0 {
+		panic(fmt.Sprintf("sched: InvalidateRow(%d, %d) out of range", stage, row))
+	}
+	if stage < c.valid {
+		c.pending = append(c.pending, pendingNote{noteRow, stage, row, -1})
+	}
+}
+
+// Barrier reports whether s globally synchronises (Eq. 3), re-running the
+// recurrence only over rows and stages the recorded changes can have
+// affected. s must be over the cache's rank count.
+func (c *KnowledgeCache) Barrier(s *Schedule) bool {
+	if s.P != c.p {
+		panic(fmt.Sprintf("sched: %d-rank schedule against %d-rank knowledge cache", s.P, c.p))
+	}
+	n := s.NumStages()
+	if c.valid > n {
+		// The schedule shrank (an undone append); the cached suffix is gone.
+		c.valid = n
+	}
+	if c.sat >= c.valid {
+		c.sat = -1
+	}
+	// Open a fresh undo journal for this call; row-level writes below record
+	// their prior contents so Rollback can restore this exact state. The
+	// pending notes are snapshotted too: this call consumes them, but a
+	// Rollback must re-arm any that described changes the schedule keeps.
+	c.jRows = c.jRows[:0]
+	c.jArena = c.jArena[:0]
+	c.jPending = append(c.jPending[:0], c.pending...)
+	c.jValid, c.jSat = c.valid, c.sat
+	if c.p == 1 {
+		c.pending = c.pending[:0]
+		return true
+	}
+	// Notes that fell into the stale region are subsumed by full recompute.
+	pend := c.pending[:0]
+	for _, pr := range c.pending {
+		if pr.stage < c.valid {
+			pend = append(pend, pr)
+		}
+	}
+	c.pending = pend
+	if len(c.pending) == 0 {
+		if c.sat >= 0 {
+			return true
+		}
+		if c.valid == n {
+			return n > 0 && c.mats[n-1].AllSet()
+		}
+	}
+	for len(c.mats) < n {
+		c.mats = append(c.mats, mat.NewBool(c.p))
+	}
+
+	start := c.valid
+	for _, pr := range c.pending {
+		if pr.stage < start {
+			start = pr.stage
+		}
+	}
+	clearWords(c.chA)
+	clearWords(c.chU)
+	clearWords(c.delta)
+	for k := start; k < n; k++ {
+		if k >= c.valid {
+			// Stale region: recompute the stage wholesale.
+			mat.PropagateInto(c.mats[k], c.prev(k), s.Stages[k])
+			c.valid = k + 1
+			if c.mats[k].AllSet() {
+				c.saturateAt(k)
+				return true
+			}
+			continue
+		}
+		prev := c.prev(k)
+		st := s.Stages[k]
+		out := c.mats[k]
+		outW := out.Words()
+		wpr := len(c.scratch)
+		anyChanged := false
+
+		// 1. Advance the uniform delta through this stage and apply it to the
+		// rows it reached; a row the delta does not enlarge leaves the wave.
+		clearWords(c.nextU)
+		if !bitsetEmpty(c.chU) {
+			st.SpreadRow(c.delta, c.delta2)
+			c.delta, c.delta2 = c.delta2, c.delta
+			for w, word := range c.chU {
+				for word != 0 {
+					x := w*64 + trailingZeros64(word)
+					word &= word - 1
+					row := outW[x*wpr : (x+1)*wpr]
+					changed := false
+					for d, dw := range c.delta {
+						if row[d]|dw != row[d] {
+							changed = true
+							break
+						}
+					}
+					if changed {
+						c.journalRow(k, x, row)
+						for d, dw := range c.delta {
+							row[d] |= dw
+						}
+						c.nextU[w] |= 1 << uint(x&63)
+						anyChanged = true
+					}
+				}
+			}
+		}
+
+		// 2. Fold this stage's pending notes in. A lone added signal with no
+		// other change in flight starts (or restarts) a uniform wave; anything
+		// else routes the affected rows through a full recompute.
+		var loneSet *pendingNote
+		sets := 0
+		for pi := range c.pending {
+			pr := &c.pending[pi]
+			if pr.stage != k {
+				continue
+			}
+			if pr.kind == noteSet {
+				sets++
+				loneSet = pr
+				continue
+			}
+			prev.OrColInto(pr.i, c.chA)
+		}
+		if sets > 0 {
+			if sets == 1 && bitsetEmpty(c.chA) && bitsetEmpty(c.chU) && bitsetEmpty(c.nextU) {
+				// Pure addition: rows knowing i gain exactly {j}.
+				clearWords(c.delta)
+				c.delta[loneSet.j>>6] = 1 << uint(loneSet.j&63)
+				clearWords(c.scratch)
+				prev.OrColInto(loneSet.i, c.scratch)
+				jw, jb := loneSet.j>>6, uint64(1)<<uint(loneSet.j&63)
+				for w, word := range c.scratch {
+					c.scratch[w] = 0
+					for word != 0 {
+						x := w*64 + trailingZeros64(word)
+						word &= word - 1
+						row := outW[x*wpr : (x+1)*wpr]
+						if row[jw]&jb == 0 {
+							c.journalRow(k, x, row)
+							row[jw] |= jb
+							c.nextU[w] |= 1 << uint(x&63)
+							anyChanged = true
+						}
+					}
+				}
+			} else {
+				for pi := range c.pending {
+					pr := &c.pending[pi]
+					if pr.stage == k && pr.kind == noteSet {
+						prev.OrColInto(pr.i, c.chA)
+					}
+				}
+			}
+		}
+
+		// 3. Fully recompute the arbitrary-change rows; survivors carry over.
+		if !bitsetEmpty(c.chA) {
+			if c.recomputeRows(k, st, out, prev) {
+				anyChanged = true
+			}
+		} else {
+			clearWords(c.nextA)
+		}
+		c.chA, c.nextA = c.nextA, c.chA
+		c.chU, c.nextU = c.nextU, c.chU
+		// A row recomputed in full no longer rides the uniform wave.
+		for w := range c.chU {
+			c.chU[w] &^= c.chA[w]
+		}
+
+		if anyChanged {
+			if k == c.sat && !out.AllSet() {
+				// Saturation broken: the suffix must be rebuilt.
+				c.sat = -1
+			} else if c.sat < 0 && out.AllSet() {
+				c.saturateAt(k)
+				return true
+			}
+		}
+		if bitsetEmpty(c.chA) && bitsetEmpty(c.chU) && !c.pendingAfter(k) {
+			// No change can reach any later cached stage. If the schedule has
+			// a stale suffix (an appended stage awaiting its first recompute)
+			// jump straight to it; otherwise the verdict follows from what we
+			// already know.
+			if c.sat >= 0 || c.valid >= n {
+				break
+			}
+			k = c.valid - 1
+		}
+	}
+	c.pending = c.pending[:0]
+	if c.sat >= 0 {
+		return true
+	}
+	return n > 0 && c.valid == n && c.mats[n-1].AllSet()
+}
+
+// recomputeRows rebuilds the rows of stage k flagged in c.chA, records rows
+// whose value actually moved in c.nextA, and reports whether any did.
+func (c *KnowledgeCache) recomputeRows(k int, st, out, prev *mat.Bool) bool {
+	clearWords(c.nextA)
+	wpr := len(c.scratch)
+	prevW, outW := prev.Words(), out.Words()
+	rowsChanged := false
+	for w, word := range c.chA {
+		for word != 0 {
+			x := w*64 + trailingZeros64(word)
+			word &= word - 1
+			st.SpreadRow(prevW[x*wpr:(x+1)*wpr], c.scratch)
+			dst := outW[x*wpr : (x+1)*wpr]
+			same := true
+			for i := range dst {
+				if dst[i] != c.scratch[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				c.journalRow(k, x, dst)
+				copy(dst, c.scratch)
+				c.nextA[w] |= 1 << uint(x&63)
+				rowsChanged = true
+			}
+		}
+	}
+	return rowsChanged
+}
+
+// journalRow records a row's pre-write words so Rollback can restore them.
+// Only rows inside the call's starting prefix are ever journaled; writes to
+// stages at or beyond the starting valid count are un-done by restoring the
+// valid count itself.
+func (c *KnowledgeCache) journalRow(stage, row int, words []uint64) {
+	c.jArena = append(c.jArena, words...)
+	c.jRows = append(c.jRows, journalRef{stage, row, len(c.jArena) - len(words)})
+}
+
+// Rollback restores the cache to its exact state before the most recent
+// Barrier call by replaying the undo journal in reverse, including the
+// pending notes that call consumed. The caller then reverts its own rejected
+// edits and reports them as usual — those notes cancel against the restored
+// pending, while notes describing changes the schedule keeps stay armed for
+// the next Barrier. This is how the search engine retires an
+// evaluated-but-rejected candidate in O(rows actually changed) copies instead
+// of pushing a second change wave through the recurrence.
+func (c *KnowledgeCache) Rollback() {
+	w := (c.p + 63) / 64
+	for i := len(c.jRows) - 1; i >= 0; i-- {
+		e := c.jRows[i]
+		copy(c.mats[e.stage].RowWords(e.row), c.jArena[e.off:e.off+w])
+	}
+	c.jRows = c.jRows[:0]
+	c.jArena = c.jArena[:0]
+	c.valid, c.sat = c.jValid, c.jSat
+	c.pending = append(c.pending[:0], c.jPending...)
+}
+
+// saturateAt records stage k as all-set and discards currency of everything
+// after it; later stages are rebuilt in full if saturation is ever broken.
+func (c *KnowledgeCache) saturateAt(k int) {
+	c.sat = k
+	c.valid = k + 1
+	c.pending = c.pending[:0]
+}
+
+func (c *KnowledgeCache) pendingAfter(k int) bool {
+	for _, pr := range c.pending {
+		if pr.stage > k {
+			return true
+		}
+	}
+	return false
+}
+
+func clearWords(ws []uint64) {
+	for i := range ws {
+		ws[i] = 0
+	}
+}
+
+func bitsetEmpty(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// trailingZeros64 scans the cache's rank bitsets. Unlike mat, which keeps its
+// kernels free of standard-library imports, this package already leans on the
+// stdlib and uses the intrinsic-backed form.
+func trailingZeros64(x uint64) int {
+	return bits.TrailingZeros64(x)
+}
+
+// FirstFullStage returns the earliest stage after which every rank knows
+// about every arrival, or -1 when the schedule never synchronises. It shares
+// the cache's incremental state with Barrier.
+func (c *KnowledgeCache) FirstFullStage(s *Schedule) int {
+	if !c.Barrier(s) {
+		return -1
+	}
+	if c.p == 1 {
+		return 0
+	}
+	for k := 0; k < c.valid; k++ {
+		if c.mats[k].AllSet() {
+			return k
+		}
+	}
+	return c.sat // unreachable: a true verdict implies a full stage ≤ sat
+}
+
+// After returns the cached knowledge matrix following stage k, ensuring
+// stages 0..k are current first. The returned matrix aliases cache storage
+// and is only valid until the next Invalidate/Barrier call; clone to keep.
+// Stages past the saturation point carry fully-set knowledge; for those the
+// saturated matrix is returned.
+func (c *KnowledgeCache) After(s *Schedule, k int) *mat.Bool {
+	if k < 0 || k >= s.NumStages() {
+		panic(fmt.Sprintf("sched: knowledge after stage %d of %d-stage schedule", k, s.NumStages()))
+	}
+	c.Barrier(s)
+	if c.p == 1 {
+		return mat.Identity(1)
+	}
+	if c.sat >= 0 && k >= c.sat {
+		return c.mats[c.sat]
+	}
+	if k >= c.valid {
+		// Only reachable when the schedule never saturates yet Barrier
+		// stopped early — it doesn't: a non-barrier run validates all stages.
+		panic(fmt.Sprintf("sched: knowledge cache stopped at stage %d before %d", c.valid, k))
+	}
+	return c.mats[k]
+}
+
+// prev returns the knowledge matrix feeding stage k.
+func (c *KnowledgeCache) prev(k int) *mat.Bool {
+	if k == 0 {
+		if c.ident == nil {
+			c.ident = mat.Identity(c.p)
+		}
+		return c.ident
+	}
+	return c.mats[k-1]
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"testing"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/stats"
+)
+
+func TestKnowledgeCacheMatchesFromScratch(t *testing.T) {
+	for _, build := range []func(int) *Schedule{Linear, Dissemination, Tree} {
+		s := build(9)
+		c := NewKnowledgeCache(9)
+		if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+			t.Fatalf("%s: cached verdict %v, from scratch %v", s.Name, got, want)
+		}
+		want := s.Knowledge()
+		for k := range want {
+			if !c.After(s, k).Equal(want[k]) && !c.After(s, k).AllSet() {
+				t.Fatalf("%s: knowledge after stage %d diverges", s.Name, k)
+			}
+			// Past saturation the cache hands out the saturated matrix; that
+			// is only valid if the from-scratch matrix is also full there.
+			if c.After(s, k).AllSet() && !want[k].AllSet() {
+				t.Fatalf("%s: cache claims saturation at stage %d prematurely", s.Name, k)
+			}
+		}
+	}
+}
+
+func TestKnowledgeCacheSingleRankAndEmpty(t *testing.T) {
+	c := NewKnowledgeCache(1)
+	if !c.Barrier(New("solo", 1)) {
+		t.Fatalf("single rank with no stages must synchronise")
+	}
+	c4 := NewKnowledgeCache(4)
+	if c4.Barrier(New("void", 4)) {
+		t.Fatalf("four ranks with no stages cannot synchronise")
+	}
+	if c4.FirstFullStage(New("void", 4)) != -1 {
+		t.Fatalf("FirstFullStage of a non-barrier must be -1")
+	}
+}
+
+func TestKnowledgeCacheFirstFullStage(t *testing.T) {
+	s := Dissemination(8)
+	c := NewKnowledgeCache(8)
+	got := c.FirstFullStage(s)
+	want := -1
+	for k, m := range s.Knowledge() {
+		if m.AllSet() {
+			want = k
+			break
+		}
+	}
+	if got != want {
+		t.Fatalf("FirstFullStage = %d, want %d", got, want)
+	}
+}
+
+// TestKnowledgeCachePropertyRandomMutations drives a working schedule through
+// long random mutation sequences — toggling signals, appending and truncating
+// stages — invalidating only the touched stages (mostly via the row-level
+// InvalidateRow the search engine uses, sometimes via the coarse Invalidate),
+// and asserts the cached verdict never diverges from a from-scratch
+// IsBarrier. This is the correctness contract the incremental search engine
+// rests on.
+func TestKnowledgeCachePropertyRandomMutations(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 13} {
+		rng := stats.NewRNG(uint64(101 + p))
+		s := Dissemination(p)
+		c := NewKnowledgeCache(p)
+		for step := 0; step < 600; step++ {
+			switch rng.Intn(8) {
+			case 0: // append an empty stage
+				if s.NumStages() < 12 {
+					s.AddStage(mat.NewBool(p))
+					c.Invalidate(s.NumStages() - 1)
+				}
+			case 1: // truncate the last stage (models an undone append)
+				if s.NumStages() > 1 {
+					k := s.NumStages() - 1
+					s.Stages = s.Stages[:k]
+					c.Invalidate(k)
+				}
+			case 2: // toggle a random signal, coarse invalidation
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				s.Stages[k].Set(i, j, !s.Stages[k].At(i, j))
+				c.Invalidate(k)
+			case 3: // toggle a random signal, row-level invalidation
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				s.Stages[k].Set(i, j, !s.Stages[k].At(i, j))
+				c.InvalidateRow(k, i)
+			default: // toggle a random signal, exact single-bit note
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				was := s.Stages[k].At(i, j)
+				s.Stages[k].Set(i, j, !was)
+				if was {
+					c.NoteClear(k, i, j)
+				} else {
+					c.NoteSet(k, i, j)
+				}
+			}
+			if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+				t.Fatalf("P=%d step %d: cached verdict %v, from scratch %v\n%s",
+					p, step, got, want, s)
+			}
+			if step%53 == 0 && s.NumStages() > 0 {
+				// The cached per-stage matrices themselves must stay exact, not
+				// just the verdict: spot-check one stage against from-scratch
+				// knowledge (full matrices past saturation are valid too).
+				k := rng.Intn(s.NumStages())
+				got := c.After(s, k)
+				want := s.Knowledge()[k]
+				if !got.Equal(want) && !got.AllSet() {
+					t.Fatalf("P=%d step %d: knowledge after stage %d diverges", p, step, k)
+				}
+				if got.AllSet() && !want.AllSet() {
+					t.Fatalf("P=%d step %d: premature saturation at stage %d", p, step, k)
+				}
+			}
+		}
+	}
+}
+
+// TestKnowledgeCacheDeadWaveThenStaleSuffix pins a regression: when a change
+// wave dies out inside the cached prefix while an appended stage is still
+// awaiting its first recompute, Barrier must continue into the stale suffix
+// instead of concluding from the prefix alone.
+func TestKnowledgeCacheDeadWaveThenStaleSuffix(t *testing.T) {
+	s := New("regress", 4)
+	st0 := mat.NewBool(4)
+	st0.Set(0, 1, true)
+	s.AddStage(st0)
+	st1 := mat.NewBool(4)
+	st1.Set(0, 1, true)
+	s.AddStage(st1)
+	c := NewKnowledgeCache(4)
+	if c.Barrier(s) {
+		t.Fatalf("two-signal schedule cannot synchronise four ranks")
+	}
+	// Append an all-to-all stage (not yet seen by the cache), then remove the
+	// duplicated signal: its knowledge effect is absorbed by stage 0, so the
+	// change wave dies at stage 1 — before the appended stage.
+	full := mat.NewBool(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				full.Set(i, j, true)
+			}
+		}
+	}
+	s.AddStage(full)
+	c.Invalidate(2)
+	s.Stages[1].Set(0, 1, false)
+	c.NoteClear(1, 0, 1)
+	if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+		t.Fatalf("cached verdict %v, from scratch %v", got, want)
+	}
+}
+
+// TestKnowledgeCacheRollbackPreservesUnreplayedNotes drives the cache through
+// the search engine's evaluated-rejection protocol: an earlier edit the
+// schedule keeps is noted but never evaluated (a transposition-answered
+// accept), then a candidate edit is noted, evaluated, and retired via
+// Rollback plus an inverse note. The kept edit's note must survive the
+// rollback, or the cache silently diverges from the schedule.
+func TestKnowledgeCacheRollbackPreservesUnreplayedNotes(t *testing.T) {
+	s := Dissemination(8)
+	c := NewKnowledgeCache(8)
+	if !c.Barrier(s) {
+		t.Fatalf("dissemination(8) must synchronise")
+	}
+	// Kept edit, not yet replayed: dissemination stage 1 carries (0 -> 2).
+	s.Stages[1].Set(0, 2, false)
+	c.NoteClear(1, 0, 2)
+	// Candidate edit: stage 2 carries (1 -> 5). Evaluate, then reject it the
+	// way the engine does — Rollback first, inverse note after.
+	s.Stages[2].Set(1, 5, false)
+	c.NoteClear(2, 1, 5)
+	c.Barrier(s)
+	c.Rollback()
+	s.Stages[2].Set(1, 5, true)
+	c.NoteSet(2, 1, 5)
+	if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+		t.Fatalf("cached verdict %v, from scratch %v", got, want)
+	}
+	want := s.Knowledge()
+	for k := range want {
+		got := c.After(s, k)
+		if !got.Equal(want[k]) && !got.AllSet() {
+			t.Fatalf("knowledge after stage %d diverges", k)
+		}
+		if got.AllSet() && !want[k].AllSet() {
+			t.Fatalf("premature saturation at stage %d", k)
+		}
+	}
+}
+
+func TestKnowledgeCacheRejectsWrongRankCount(t *testing.T) {
+	c := NewKnowledgeCache(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("rank-count mismatch accepted")
+		}
+	}()
+	c.Barrier(Tree(5))
+}

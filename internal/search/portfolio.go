@@ -1,0 +1,133 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/stats"
+)
+
+// The parallel restart portfolio. Restarts are independent climbers advanced
+// in lock-step rounds by a worker pool; between rounds the coordinator picks
+// the elite (cheapest current state, ties to the lowest restart index) and
+// hands its schedule to climbers that have fallen behind by more than
+// eliteAdoptFactor. Because climbers share no mutable state and every
+// exchange decision happens at a synchronisation barrier using only
+// round-start data, the final result is bit-identical for a fixed seed no
+// matter how many workers execute the rounds.
+
+// eliteAdoptFactor is the relative slack before a lagging restart abandons
+// its own trajectory for the elite's. Keeping it above 1 preserves diversity:
+// only clearly-losing restarts convert into intensification around the
+// current best.
+const eliteAdoptFactor = 1.05
+
+// Progress is a snapshot handed to AnnealOptions.Progress after each
+// exchange round.
+type Progress struct {
+	// Round counts completed exchange rounds; Rounds is the total planned.
+	Round, Rounds int
+	// StepsDone is the number of mutation attempts completed per restart.
+	StepsDone int
+	// Examined is the total number of candidates evaluated so far.
+	Examined int
+	// BestCost is the cheapest predicted cost seen by any restart so far.
+	BestCost float64
+	// Elite is the restart index holding the current cheapest state.
+	Elite int
+}
+
+// runPortfolio drives all restarts to completion and returns the climbers
+// for finalisation.
+func runPortfolio(climbers []*climber, opts AnnealOptions) {
+	workers := opts.Workers
+	if workers > len(climbers) {
+		workers = len(climbers)
+	}
+	stepsLeft := opts.Steps
+	rounds := (opts.Steps + opts.ExchangeEvery - 1) / opts.ExchangeEvery
+	for round := 0; stepsLeft > 0; round++ {
+		stepsThis := opts.ExchangeEvery
+		if stepsThis > stepsLeft {
+			stepsThis = stepsLeft
+		}
+		stepsLeft -= stepsThis
+
+		if workers <= 1 {
+			for _, c := range climbers {
+				c.run(stepsThis)
+			}
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for r := range idx {
+						climbers[r].run(stepsThis)
+					}
+				}()
+			}
+			for r := range climbers {
+				idx <- r
+			}
+			close(idx)
+			wg.Wait()
+		}
+
+		// Synchronised exchange: deterministic elite selection and adoption.
+		elite := 0
+		for r, c := range climbers {
+			if c.cost < climbers[elite].cost {
+				elite = r
+			}
+		}
+		if stepsLeft > 0 && len(climbers) > 1 {
+			es, ec := climbers[elite].s, climbers[elite].cost
+			for r, c := range climbers {
+				if r != elite && c.cost > ec*eliteAdoptFactor {
+					c.adopt(es, ec)
+				}
+			}
+		}
+		if opts.Progress != nil {
+			examined := 0
+			bestCost := climbers[0].bestCost
+			bestAt := 0
+			for r, c := range climbers {
+				examined += c.examined
+				if c.bestCost < bestCost {
+					bestCost, bestAt = c.bestCost, r
+				}
+			}
+			opts.Progress(Progress{
+				Round: round + 1, Rounds: rounds,
+				StepsDone: opts.Steps - stepsLeft,
+				Examined:  examined,
+				BestCost:  bestCost,
+				Elite:     bestAt,
+			})
+		}
+	}
+}
+
+// newPortfolio seeds one climber per restart with its own SplitMix64 stream.
+func newPortfolio(pd *predict.Predictor, seedSched *sched.Schedule, seedCost float64, opts AnnealOptions) []*climber {
+	maxStages := opts.MaxStages
+	if seedSched.NumStages() > maxStages {
+		maxStages = seedSched.NumStages()
+	}
+	z := newZobrist(seedSched.P, maxStages)
+	climbers := make([]*climber, opts.Restarts)
+	for r := range climbers {
+		rng := stats.NewRNG(opts.Seed + uint64(r)*0x9e3779b97f4a7c15)
+		climbers[r] = newClimber(pd, z, seedSched, seedCost, rng, maxStages)
+	}
+	return climbers
+}
+
+// defaultWorkers returns the portfolio's worker-count default.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

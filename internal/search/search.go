@@ -16,7 +16,6 @@ import (
 	"topobarrier/internal/mat"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/sched"
-	"topobarrier/internal/stats"
 )
 
 // Result is a searched barrier and its predicted cost.
@@ -98,17 +97,40 @@ func matrixFromCode(p int, code uint64) *mat.Bool {
 // AnnealOptions configures the local search.
 type AnnealOptions struct {
 	// Seed drives mutation choices; identical seeds replay identical
-	// searches.
+	// searches, independent of Workers.
 	Seed uint64
 	// Steps is the number of mutation attempts per restart (default 2000).
 	Steps int
-	// Restarts is the number of independent runs (default 3).
+	// Restarts is the number of portfolio members (default 3).
 	Restarts int
 	// MaxStages bounds schedule growth (default: 2 + stages of the seed).
 	MaxStages int
+	// Workers bounds how many restarts climb concurrently (default
+	// GOMAXPROCS, capped at Restarts). The worker count affects throughput
+	// only: for a fixed Seed the result is bit-identical at any value.
+	Workers int
+	// Budget, when positive, caps the total mutation attempts across the
+	// whole portfolio by overriding Steps with Budget/Restarts.
+	Budget int
+	// ExchangeEvery is the number of steps each restart climbs between
+	// cross-restart elite exchanges (default 500). Exchanges happen at
+	// synchronisation barriers, so changing Workers never changes them.
+	ExchangeEvery int
+	// Progress, when non-nil, is called from the coordinating goroutine
+	// after every exchange round.
+	Progress func(Progress)
 }
 
 func (o AnnealOptions) withDefaults(seedSched *sched.Schedule) AnnealOptions {
+	if o.Budget > 0 {
+		if o.Restarts <= 0 {
+			o.Restarts = 3
+		}
+		o.Steps = o.Budget / o.Restarts
+		if o.Steps < 1 {
+			o.Steps = 1
+		}
+	}
 	if o.Steps <= 0 {
 		o.Steps = 2000
 	}
@@ -118,13 +140,24 @@ func (o AnnealOptions) withDefaults(seedSched *sched.Schedule) AnnealOptions {
 	if o.MaxStages <= 0 {
 		o.MaxStages = seedSched.NumStages() + 2
 	}
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	if o.ExchangeEvery <= 0 {
+		o.ExchangeEvery = 500
+	}
 	return o
 }
 
 // Anneal performs hill climbing from the given seed schedule: random
 // signal-level mutations (add a signal, remove a signal, move a signal to
-// another stage) are kept when the mutant still synchronises and does not
-// predict slower. The best schedule across restarts is returned.
+// another stage, append a stage) are kept when the mutant still synchronises
+// and does not predict slower. Restarts run as a deterministic parallel
+// portfolio with periodic elite exchange; each restart mutates a single
+// working schedule in place, verifies Eq. 3 through a prefix-reusable
+// knowledge cache, prices candidates through an incremental critical-path
+// evaluator, and never re-scores a schedule its transposition table has seen.
+// The cheapest schedule observed anywhere in the portfolio is returned.
 func Anneal(pd *predict.Predictor, seedSched *sched.Schedule, opts AnnealOptions) (*Result, error) {
 	if !seedSched.IsBarrier() {
 		return nil, fmt.Errorf("search: seed %q is not a barrier", seedSched.Name)
@@ -134,85 +167,17 @@ func Anneal(pd *predict.Predictor, seedSched *sched.Schedule, opts AnnealOptions
 	}
 	opts = opts.withDefaults(seedSched)
 
-	best := &Result{Schedule: seedSched.Clone(), Cost: pd.Cost(seedSched)}
-	for r := 0; r < opts.Restarts; r++ {
-		rng := stats.NewRNG(opts.Seed + uint64(r)*0x9e3779b97f4a7c15)
-		cur := seedSched.Clone()
-		curCost := pd.Cost(cur)
-		for step := 0; step < opts.Steps; step++ {
-			mut := mutate(cur, rng, opts.MaxStages)
-			if mut == nil {
-				continue
-			}
-			best.Examined++
-			if !mut.IsBarrier() {
-				continue
-			}
-			c := pd.Cost(mut)
-			if c <= curCost {
-				cur, curCost = mut, c
-			}
-		}
-		cur = cur.DropEmptyStages()
-		if cur.IsBarrier() {
-			if c := pd.Cost(cur); c < best.Cost {
-				best.Schedule, best.Cost = cur, c
-			}
+	seedCost := pd.Cost(seedSched)
+	climbers := newPortfolio(pd, seedSched, seedCost, opts)
+	runPortfolio(climbers, opts)
+
+	best := &Result{Schedule: seedSched.Clone(), Cost: seedCost}
+	for _, c := range climbers {
+		best.Examined += c.examined
+		if s, cost := c.finalize(); cost < best.Cost {
+			best.Schedule, best.Cost = s, cost
 		}
 	}
 	best.Schedule.Name = fmt.Sprintf("annealed(%s)", seedSched.Name)
 	return best, nil
-}
-
-// mutate returns a mutated clone, or nil when the drawn mutation does not
-// apply.
-func mutate(s *sched.Schedule, rng *stats.RNG, maxStages int) *sched.Schedule {
-	m := s.Clone()
-	if m.NumStages() == 0 {
-		return nil
-	}
-	p := m.P
-	switch rng.Intn(4) {
-	case 0: // remove a random signal
-		k := rng.Intn(m.NumStages())
-		i := rng.Intn(p)
-		row := m.Stages[k].Row(i)
-		if len(row) == 0 {
-			return nil
-		}
-		m.Stages[k].Set(i, row[rng.Intn(len(row))], false)
-	case 1: // add a random signal
-		k := rng.Intn(m.NumStages())
-		i, j := rng.Intn(p), rng.Intn(p)
-		if i == j || m.Stages[k].At(i, j) {
-			return nil
-		}
-		m.Stages[k].Set(i, j, true)
-	case 2: // move a signal to a neighbouring stage
-		k := rng.Intn(m.NumStages())
-		i := rng.Intn(p)
-		row := m.Stages[k].Row(i)
-		if len(row) == 0 {
-			return nil
-		}
-		j := row[rng.Intn(len(row))]
-		dk := k + 1 - 2*rng.Intn(2)
-		if dk < 0 || dk >= m.NumStages() {
-			return nil
-		}
-		m.Stages[k].Set(i, j, false)
-		m.Stages[dk].Set(i, j, true)
-	default: // append a fresh empty stage for mutations to grow into
-		if m.NumStages() >= maxStages {
-			return nil
-		}
-		m.AddStage(mat.NewBool(p))
-		// Seed it with one random signal so it is not trivially dropped.
-		i, j := rng.Intn(p), rng.Intn(p)
-		if i == j {
-			return nil
-		}
-		m.Stages[m.NumStages()-1].Set(i, j, true)
-	}
-	return m
 }

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark runs
+// (BENCH_search.json) and regressions can be diffed across commits without
+// scraping log text.
+//
+// Each benchmark line
+//
+//	BenchmarkSearchThroughput/P16/incremental  1000000  1136 ns/op  774952 mutants/s
+//
+// becomes an entry with the trimmed name, iteration count, and one metric per
+// value/unit pair; goos/goarch/cpu/pkg header lines are kept as environment
+// metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Env     map[string]string `json:"env"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	doc := document{Env: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"),
+			strings.HasPrefix(line, "pkg:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Env[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -1,0 +1,107 @@
+// Benchmarks for the incremental search engine: mutation-evaluation
+// throughput against the clone-per-mutant baseline the engine replaced, and
+// worker scaling of the parallel portfolio. The acceptance bar for the
+// engine is a ≥10× single-core throughput advantage at P=16.
+package topobarrier_test
+
+import (
+	"fmt"
+	"testing"
+
+	"topobarrier/internal/fabric"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/search"
+	"topobarrier/internal/stats"
+	"topobarrier/internal/topo"
+)
+
+func throughputPredictor(b *testing.B, p int) *predict.Predictor {
+	b.Helper()
+	f, err := fabric.QuadClusterFabric(topo.RoundRobin{}, p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return predict.New(f.TrueProfile())
+}
+
+// scratchEvaluate replays the seed implementation's per-mutant cost: clone
+// the working schedule, toggle one signal, run the Eq. 3 recurrence from
+// scratch, and (for barriers) a from-scratch critical-path pass.
+func scratchEvaluate(pd *predict.Predictor, s *sched.Schedule, rng *stats.RNG) float64 {
+	c := s.Clone()
+	k := rng.Intn(c.NumStages())
+	i, j := rng.Intn(c.P), rng.Intn(c.P)
+	if i == j {
+		j = (j + 1) % c.P
+	}
+	c.Stages[k].Set(i, j, !c.Stages[k].At(i, j))
+	if !c.IsBarrier() {
+		return 0
+	}
+	return pd.Cost(c)
+}
+
+// BenchmarkSearchThroughput reports mutation evaluations per second for the
+// scratch baseline and the incremental engine, at the paper's small-to-mid
+// rank counts. Compare the mutants/s metric between the /scratch and
+// /incremental variants of the same P.
+func BenchmarkSearchThroughput(b *testing.B) {
+	for _, p := range []int{8, 16, 32} {
+		pd := throughputPredictor(b, p)
+		seed := sched.Dissemination(p)
+
+		b.Run(fmt.Sprintf("P%d/scratch", p), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			sink := 0.0
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				sink += scratchEvaluate(pd, seed, rng)
+			}
+			b.StopTimer()
+			_ = sink
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mutants/s")
+		})
+
+		b.Run(fmt.Sprintf("P%d/incremental", p), func(b *testing.B) {
+			examined := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n += 2000 {
+				res, err := search.Anneal(pd, seed, search.AnnealOptions{
+					Seed: uint64(n + 1), Steps: 2000, Restarts: 1, Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				examined += res.Examined
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(examined)/b.Elapsed().Seconds(), "mutants/s")
+		})
+	}
+}
+
+// BenchmarkSearchWorkerScaling runs a fixed 8-restart portfolio on 1, 2, 4,
+// and 8 workers; with shared-nothing climbers the speedup should track the
+// worker count until restarts run out.
+func BenchmarkSearchWorkerScaling(b *testing.B) {
+	pd := throughputPredictor(b, 16)
+	seed := sched.Dissemination(16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			examined := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				res, err := search.Anneal(pd, seed, search.AnnealOptions{
+					Seed: 3, Steps: 1500, Restarts: 8, Workers: workers, ExchangeEvery: 500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				examined += res.Examined
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(examined)/b.Elapsed().Seconds(), "mutants/s")
+		})
+	}
+}
