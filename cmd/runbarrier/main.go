@@ -4,24 +4,40 @@
 // tunebarrier. It also runs the paper's delay-injection synchronization
 // validation (§VI) before timing.
 //
+// With -net, the barrier instead executes over a real loopback TCP mesh
+// (one goroutine per rank, internal/netmpi): mesh formation retries through
+// the listener-startup race within -net-dial-timeout, every receive is
+// bounded by -net-deadline, and any rank failure is reported per rank
+// instead of hanging the job. -net-fault injects a deterministic transport
+// fault (drop/delay/truncate/sever) on one rank's accepted links to
+// demonstrate the fail-fast behaviour.
+//
 // Usage:
 //
 //	runbarrier -cluster quad|hex -p N [-placement round-robin|block]
 //	           [-alg tree|linear|dissemination|mpi|rd|FILE.json]
 //	           [-iters N] [-warmup N] [-seed N] [-congestion] [-novalidate]
+//	           [-net] [-net-deadline D] [-net-dial-timeout D]
+//	           [-net-fault op:rank:frame[:arg]]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"topobarrier/internal/analyze"
 	"topobarrier/internal/baseline"
 	"topobarrier/internal/fabric"
+	"topobarrier/internal/faultnet"
 	"topobarrier/internal/mpi"
+	"topobarrier/internal/netmpi"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/topo"
@@ -38,8 +54,25 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "fabric noise seed")
 		congestion = flag.Bool("congestion", false, "enable NIC serialisation")
 		novalidate = flag.Bool("novalidate", false, "skip the delay-injection synchronization check")
+
+		netRun     = flag.Bool("net", false, "execute over a real loopback TCP mesh (goroutine ranks) instead of the simulator")
+		netDead    = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
+		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
+		netFault   = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
 	)
 	flag.Parse()
+
+	name, fn, s, err := resolve(*alg, *p)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *netRun {
+		if err := runNet(name, s, *p, *warmup, *iters, *netDead, *netDial, *netFault); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var spec topo.Spec
 	switch *cluster {
@@ -70,11 +103,6 @@ func main() {
 	}
 	world := mpi.NewWorld(fab, opts...)
 
-	name, fn, err := resolve(*alg, *p)
-	if err != nil {
-		fatal(err)
-	}
-
 	if !*novalidate {
 		// Delay a few spread-out ranks rather than all P, keeping validation
 		// quick for large jobs.
@@ -92,49 +120,192 @@ func main() {
 		name, spec.Name, *p, pl.Name(), m.Mean*1e6, m.Iters, m.Warmup)
 }
 
-// resolve maps an -alg value to an executable barrier.
-func resolve(alg string, p int) (string, run.Func, error) {
+// resolve maps an -alg value to an executable barrier: a simulator function
+// always, plus the underlying schedule when the algorithm has one (the
+// hard-coded mpi/rd baselines do not, so they cannot run with -net).
+func resolve(alg string, p int) (string, run.Func, *sched.Schedule, error) {
 	switch alg {
 	case "mpi":
-		return "MPI barrier (binomial tree)", baseline.Tree, nil
+		return "MPI barrier (binomial tree)", baseline.Tree, nil, nil
 	case "rd":
-		return "recursive doubling (hard-coded)", baseline.RecursiveDoubling, nil
+		return "recursive doubling (hard-coded)", baseline.RecursiveDoubling, nil, nil
 	case "tree":
-		return "tree (schedule)", run.ScheduleFunc(sched.Tree(p)), nil
+		return "tree (schedule)", run.ScheduleFunc(sched.Tree(p)), sched.Tree(p), nil
 	case "linear":
-		return "linear (schedule)", run.ScheduleFunc(sched.Linear(p)), nil
+		return "linear (schedule)", run.ScheduleFunc(sched.Linear(p)), sched.Linear(p), nil
 	case "dissemination":
-		return "dissemination (schedule)", run.ScheduleFunc(sched.Dissemination(p)), nil
+		return "dissemination (schedule)", run.ScheduleFunc(sched.Dissemination(p)), sched.Dissemination(p), nil
 	}
 	if strings.HasSuffix(alg, ".json") {
 		data, err := os.ReadFile(alg)
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		var s sched.Schedule
 		if err := json.Unmarshal(data, &s); err != nil {
-			return "", nil, fmt.Errorf("decoding %s: %w", alg, err)
+			return "", nil, nil, fmt.Errorf("decoding %s: %w", alg, err)
 		}
 		if s.P != p {
-			return "", nil, fmt.Errorf("schedule %q is for %d ranks, job has %d", s.Name, s.P, p)
+			return "", nil, nil, fmt.Errorf("schedule %q is for %d ranks, job has %d", s.Name, s.P, p)
 		}
 		// Loaded schedules are untrusted: vet them before execution and
 		// refuse Error-severity findings with the full diagnosis.
 		rep := analyze.Analyze(&s, analyze.Options{SkipRedundancy: true})
 		if err := rep.Err(); err != nil {
 			fmt.Fprint(os.Stderr, rep)
-			return "", nil, fmt.Errorf("schedule %s fails barriervet: %w", alg, err)
+			return "", nil, nil, fmt.Errorf("schedule %s fails barriervet: %w", alg, err)
 		}
 		if n := rep.Count(analyze.Warning); n > 0 {
 			fmt.Fprintf(os.Stderr, "barriervet: %d warnings for %q (run cmd/barriervet for details)\n", n, s.Name)
 		}
 		plan, err := run.NewPlan(&s)
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
-		return s.Name + " (compiled plan)", plan.Func(), nil
+		return s.Name + " (compiled plan)", plan.Func(), &s, nil
 	}
-	return "", nil, fmt.Errorf("unknown algorithm %q", alg)
+	return "", nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+// runNet executes the barrier over a real loopback TCP mesh with per-rank
+// failure reporting: every rank either reports its mean barrier time or the
+// transport error that stopped it within its deadline.
+func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string) error {
+	if s == nil {
+		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
+	}
+	pl, _, err := netmpi.VetPlan(s, analyze.Options{SkipRedundancy: true})
+	if err != nil {
+		return err
+	}
+	faultRank, injector, err := parseFault(faultSpec)
+	if err != nil {
+		return err
+	}
+
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		ln, err := netmpi.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		if i == faultRank {
+			ln = &faultnet.Listener{Listener: ln, New: injector}
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+		defer ln.Close()
+	}
+	peers := make([]*netmpi.Peer, p)
+	dialErrs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peers[i], dialErrs[i] = netmpi.Dial(i, addrs, listeners[i], dialTimeout)
+		}()
+	}
+	wg.Wait()
+	for i, err := range dialErrs {
+		if err != nil {
+			return fmt.Errorf("mesh formation: rank %d: %w", i, err)
+		}
+	}
+	defer func() {
+		for _, pe := range peers {
+			pe.Close()
+		}
+	}()
+	if faultSpec != "" {
+		fmt.Fprintf(os.Stderr, "fault injection armed on rank %d's accepted links: %s\n", faultRank, faultSpec)
+	}
+
+	durs := make([]time.Duration, p)
+	rankErrs := make([]error, p)
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			durs[i], rankErrs[i] = peers[i].MeasureBarrier(pl, warmup, iters, deadline)
+		}()
+	}
+	wg.Wait()
+
+	failed := 0
+	for i, err := range rankErrs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "rank %d failed: %v\n", i, err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d ranks failed within the %v deadline (fail-fast: no rank hung)", failed, p, deadline)
+	}
+	max := time.Duration(0)
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	fmt.Printf("%s over loopback TCP mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
+		name, p, max, iters, warmup, deadline)
+	return nil
+}
+
+// parseFault decodes op:rank:frame[:arg] into the target rank and a
+// per-connection injector factory. An empty spec disables injection.
+func parseFault(spec string) (int, func() faultnet.Injector, error) {
+	if spec == "" {
+		return -1, nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return -1, nil, fmt.Errorf("bad -net-fault %q: want op:rank:frame[:arg]", spec)
+	}
+	rank, err := strconv.Atoi(parts[1])
+	if err != nil || rank < 0 {
+		return -1, nil, fmt.Errorf("bad -net-fault rank %q", parts[1])
+	}
+	frame, err := strconv.Atoi(parts[2])
+	if err != nil || frame < 0 {
+		return -1, nil, fmt.Errorf("bad -net-fault frame %q", parts[2])
+	}
+	arg := ""
+	if len(parts) > 3 {
+		arg = parts[3]
+	}
+	var mk func() faultnet.Injector
+	switch parts[0] {
+	case "drop":
+		mk = func() faultnet.Injector { return faultnet.DropFrom(frame) }
+	case "sever":
+		mk = func() faultnet.Injector { return faultnet.SeverAt(frame) }
+	case "delay":
+		d := 50 * time.Millisecond
+		if arg != "" {
+			d, err = time.ParseDuration(arg)
+			if err != nil {
+				return -1, nil, fmt.Errorf("bad -net-fault delay %q: %w", arg, err)
+			}
+		}
+		mk = func() faultnet.Injector { return faultnet.DelayFrom(frame, d) }
+	case "truncate":
+		keep := 4
+		if arg != "" {
+			keep, err = strconv.Atoi(arg)
+			if err != nil || keep < 0 {
+				return -1, nil, fmt.Errorf("bad -net-fault truncate bytes %q", arg)
+			}
+		}
+		mk = func() faultnet.Injector { return faultnet.TruncateAt(frame, keep) }
+	default:
+		return -1, nil, fmt.Errorf("unknown -net-fault op %q (want drop|delay|truncate|sever)", parts[0])
+	}
+	return rank, mk, nil
 }
 
 func fatal(err error) {

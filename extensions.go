@@ -142,12 +142,17 @@ type LibraryEntry = library.Entry
 func OpenLibrary(dir string) (*BarrierLibrary, error) { return library.Open(dir) }
 
 // NetPeer is one rank's endpoint of a real TCP mesh executing tuned plans.
+// The mesh is fail-fast: the first dead link wakes every blocked Recv —
+// bounded-deadline or not — with a descriptive error, so a crashed peer
+// cannot hang the survivors (see internal/netmpi's failure model).
 type NetPeer = netmpi.Peer
 
 // NetListen opens a rank's mesh listener.
 func NetListen(addr string) (net.Listener, error) { return netmpi.Listen(addr) }
 
-// NetDial builds the TCP mesh for one rank.
+// NetDial builds the TCP mesh for one rank. Dials retry refused connections
+// with exponential backoff within the timeout, so ranks may start in any
+// order.
 func NetDial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*NetPeer, error) {
 	return netmpi.Dial(rank, addrs, ln, timeout)
 }

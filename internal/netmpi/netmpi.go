@@ -5,14 +5,39 @@
 //
 // Each rank owns one Peer: a listener plus one duplex TCP connection to
 // every other rank (rank i dials every j < i and accepts from every j > i,
-// so the mesh forms without a coordinator). Messages are length-prefixed
-// frames carrying a tag; per-connection reader goroutines demultiplex frames
-// into per-(source, tag) mailboxes, preserving per-link FIFO order exactly
-// like the simulator's non-overtaking guarantee.
+// so the mesh forms without a coordinator). Mesh formation tolerates the
+// listener-startup race: dials retry with exponential backoff until the
+// formation timeout, so ranks need not start in any particular order.
+// Messages are length-prefixed frames carrying a tag; per-connection reader
+// goroutines demultiplex frames into per-(source, tag) mailboxes, preserving
+// per-link FIFO order exactly like the simulator's non-overtaking guarantee.
+// Mailboxes are unbounded queues and readers never block on delivery, so a
+// slow consumer on one tag cannot head-of-line-block other tags from the
+// same source.
 //
 // Barrier correctness needs only the knowledge recurrence of the schedule
 // (Eq. 3), which holds for eager sends, so sends are plain buffered writes;
 // a rank leaves the barrier when every signal addressed to it has arrived.
+//
+// # Failure model
+//
+// A Peer fails as a unit, and it fails fast. The first connection error —
+// including a remote peer closing or crashing (EOF mid-stream) — latches a
+// descriptive error and closes the peer's done channel, which wakes every
+// blocked Recv immediately, deadline or not. A collective protocol cannot
+// make progress once any participant is gone, so the whole peer turning
+// poisoned is the correct granularity: callers see exactly one of
+//
+//   - the payload, if the frame arrived before (or despite) the failure —
+//     already-delivered mail stays readable;
+//   - the latched transport error naming the dead link, if the mesh broke;
+//   - a timeout error naming the missing (source, tag), if the deadline
+//     elapsed with the mesh healthy (e.g. a silently dropped frame);
+//   - a "peer closed" error if the local rank called Close mid-wait.
+//
+// Only a locally initiated Close is an orderly shutdown; everything else,
+// EOF included, is a failure. No call hangs forever: Recv with a deadline
+// is bounded by it, and Recv without one is bounded by failure detection.
 package netmpi
 
 import (
@@ -36,9 +61,10 @@ type Peer struct {
 	conns []net.Conn
 
 	mu     sync.Mutex
-	boxes  map[mailKey]chan []byte
+	boxes  map[mailKey]*mailbox
 	errVal error
 	closed bool
+	done   chan struct{} // closed on first failure or on Close; wakes all waiters
 	wg     sync.WaitGroup
 }
 
@@ -46,8 +72,60 @@ type mailKey struct {
 	src, tag int
 }
 
+// mailbox is one (source, tag) queue. It is unbounded so the per-connection
+// reader can always deliver without blocking: a full queue on one tag must
+// not stall frames for every other tag sharing the link. The avail channel
+// (capacity 1) is a wakeup edge, not the data path; take re-arms it when
+// messages remain so coalesced signals cannot strand a waiter.
+type mailbox struct {
+	mu    sync.Mutex
+	msgs  [][]byte
+	avail chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{avail: make(chan struct{}, 1)}
+}
+
+func (b *mailbox) put(msg []byte) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, msg)
+	b.mu.Unlock()
+	select {
+	case b.avail <- struct{}{}:
+	default:
+	}
+}
+
+func (b *mailbox) take() ([]byte, bool) {
+	b.mu.Lock()
+	if len(b.msgs) == 0 {
+		b.mu.Unlock()
+		return nil, false
+	}
+	msg := b.msgs[0]
+	b.msgs = b.msgs[1:]
+	remaining := len(b.msgs)
+	b.mu.Unlock()
+	if remaining > 0 {
+		select {
+		case b.avail <- struct{}{}:
+		default:
+		}
+	}
+	return msg, true
+}
+
 // frame header: src (handshake only), tag, payload length.
 const headerBytes = 8
+
+// Dial retry/backoff bounds for the listener-startup race: the first retry
+// waits dialBackoffMin, each subsequent one doubles, capped at
+// dialBackoffMax, all bounded by the overall formation timeout.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 200 * time.Millisecond
+)
 
 // Listen opens a rank's listener on addr (use "127.0.0.1:0" for tests) and
 // returns it; its resolved address must be distributed to all peers before
@@ -59,7 +137,11 @@ func Listen(addr string) (net.Listener, error) {
 // Dial builds the mesh for the given rank: addrs[i] must hold rank i's
 // listener address, and ln must be the listener previously created for this
 // rank. It blocks until all p-1 connections are established or the timeout
-// elapses.
+// elapses. Outbound dials retry with exponential backoff within the timeout,
+// so a rank may dial peers whose listeners are not up yet; a second
+// handshake claiming an already-connected rank is rejected (both
+// connections closed) rather than silently replacing — and leaking — the
+// established one.
 func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Peer, error) {
 	p := len(addrs)
 	if rank < 0 || rank >= p {
@@ -69,7 +151,8 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 		rank:  rank,
 		size:  p,
 		conns: make([]net.Conn, p),
-		boxes: map[mailKey]chan []byte{},
+		boxes: map[mailKey]*mailbox{},
+		done:  make(chan struct{}),
 	}
 	deadline := time.Now().Add(timeout)
 
@@ -85,17 +168,34 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 	}
 
 	// Dial lower-numbered ranks; identify ourselves with a 4-byte rank
-	// header.
+	// header. Connection errors are retried with exponential backoff until
+	// the deadline: the peer's listener may simply not be up yet.
 	for j := 0; j < rank; j++ {
 		j := j
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			d := net.Dialer{Deadline: deadline}
-			conn, err := d.Dial("tcp", addrs[j])
-			if err != nil {
-				fail(fmt.Errorf("netmpi: rank %d dialing rank %d: %w", rank, j, err))
-				return
+			backoff := dialBackoffMin
+			attempts := 0
+			var conn net.Conn
+			for {
+				attempts++
+				c, err := d.Dial("tcp", addrs[j])
+				if err == nil {
+					conn = c
+					break
+				}
+				if time.Now().Add(backoff).After(deadline) {
+					fail(fmt.Errorf("netmpi: rank %d dialing rank %d (%d attempts): %w",
+						rank, j, attempts, err))
+					return
+				}
+				time.Sleep(backoff)
+				backoff *= 2
+				if backoff > dialBackoffMax {
+					backoff = dialBackoffMax
+				}
 			}
 			var hdr [4]byte
 			binary.BigEndian.PutUint32(hdr[:], uint32(rank))
@@ -116,7 +216,7 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 	go func() {
 		defer wg.Done()
 		for a := 0; a < accepts; a++ {
-			if dl, ok := ln.(*net.TCPListener); ok {
+			if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
 				dl.SetDeadline(deadline)
 			}
 			conn, err := ln.Accept()
@@ -137,6 +237,13 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 				return
 			}
 			mu.Lock()
+			if old := peer.conns[src]; old != nil {
+				mu.Unlock()
+				conn.Close()
+				old.Close()
+				fail(fmt.Errorf("netmpi: rank %d: duplicate handshake claiming rank %d; closed both connections", rank, src))
+				return
+			}
 			peer.conns[src] = conn
 			mu.Unlock()
 		}
@@ -164,7 +271,9 @@ func (p *Peer) Rank() int { return p.rank }
 // Size returns the number of ranks in the mesh.
 func (p *Peer) Size() int { return p.size }
 
-// reader decodes frames from one connection into mailboxes.
+// reader decodes frames from one connection into mailboxes. Delivery never
+// blocks (mailboxes are unbounded), so one saturated (source, tag) queue
+// cannot head-of-line-block the other tags multiplexed on this link.
 func (p *Peer) reader(src int, conn net.Conn) {
 	defer p.wg.Done()
 	var hdr [headerBytes]byte
@@ -183,39 +292,60 @@ func (p *Peer) reader(src int, conn net.Conn) {
 				return
 			}
 		}
-		p.box(src, tag) <- payload
+		p.box(src, tag).put(payload)
 	}
 }
 
+// fail latches the first transport error and closes done so every blocked
+// Recv wakes immediately. A remote close (EOF) counts as a failure: only a
+// locally initiated Close is orderly, anything else means a participant is
+// gone and the collective cannot complete.
 func (p *Peer) fail(src int, err error) {
-	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-		return // orderly shutdown
-	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.errVal == nil && !p.closed {
-		p.errVal = fmt.Errorf("netmpi: rank %d reading from %d: %w", p.rank, src, err)
+	if p.closed || p.errVal != nil {
+		return // orderly local shutdown, or already failed
 	}
+	switch {
+	case errors.Is(err, io.EOF):
+		p.errVal = fmt.Errorf("netmpi: rank %d: connection from rank %d closed (peer exited or crashed)", p.rank, src)
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		p.errVal = fmt.Errorf("netmpi: rank %d: connection from rank %d severed mid-frame (truncated stream)", p.rank, src)
+	default:
+		p.errVal = fmt.Errorf("netmpi: rank %d reading from rank %d: %w", p.rank, src, err)
+	}
+	close(p.done)
 }
 
 // box returns (creating on demand) the mailbox for one (source, tag) pair.
-func (p *Peer) box(src, tag int) chan []byte {
+func (p *Peer) box(src, tag int) *mailbox {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	k := mailKey{src, tag}
 	b, ok := p.boxes[k]
 	if !ok {
-		b = make(chan []byte, 64)
+		b = newMailbox()
 		p.boxes[k] = b
 	}
 	return b
 }
 
 // Send transmits one tagged message to dst. Sends are eager: completion
-// means the frame entered the TCP stream.
+// means the frame entered the TCP stream. A failed or closed peer refuses
+// further sends with its latched error, propagating the failure to senders
+// as fast as to receivers.
 func (p *Peer) Send(dst, tag int, payload []byte) error {
 	if dst < 0 || dst >= p.size || dst == p.rank {
 		return fmt.Errorf("netmpi: rank %d sending to invalid rank %d", p.rank, dst)
+	}
+	p.mu.Lock()
+	err, closed := p.errVal, p.closed
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return fmt.Errorf("netmpi: rank %d: send to %d on closed peer", p.rank, dst)
 	}
 	frame := make([]byte, headerBytes+len(payload))
 	binary.BigEndian.PutUint32(frame[:4], uint32(int32(tag)))
@@ -228,26 +358,43 @@ func (p *Peer) Send(dst, tag int, payload []byte) error {
 }
 
 // Recv blocks until a message with the given source and tag arrives and
-// returns its payload. The deadline bounds the wait; zero means no bound.
+// returns its payload. The deadline bounds the wait; zero means no time
+// bound, but every Recv — deadline or not — wakes immediately when the peer
+// fails or is closed, returning the latched transport error. Mail delivered
+// before a failure stays readable.
 func (p *Peer) Recv(src, tag int, deadline time.Duration) ([]byte, error) {
 	if src < 0 || src >= p.size || src == p.rank {
 		return nil, fmt.Errorf("netmpi: rank %d receiving from invalid rank %d", p.rank, src)
 	}
-	if err := p.err(); err != nil {
-		return nil, err
-	}
 	b := p.box(src, tag)
-	if deadline <= 0 {
-		return <-b, nil
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	select {
-	case msg := <-b:
-		return msg, nil
-	case <-time.After(deadline):
-		if err := p.err(); err != nil {
-			return nil, err
+	for {
+		if msg, ok := b.take(); ok {
+			return msg, nil
 		}
-		return nil, fmt.Errorf("netmpi: rank %d timed out waiting for (%d, %d)", p.rank, src, tag)
+		select {
+		case <-b.avail:
+		case <-p.done:
+			// Drain mail that raced in ahead of the failure before
+			// reporting it.
+			if msg, ok := b.take(); ok {
+				return msg, nil
+			}
+			if err := p.err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("netmpi: rank %d: peer closed while waiting for (src %d, tag %d)", p.rank, src, tag)
+		case <-timeout:
+			if err := p.err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("netmpi: rank %d timed out after %v waiting for (src %d, tag %d)", p.rank, deadline, src, tag)
+		}
 	}
 }
 
@@ -257,10 +404,18 @@ func (p *Peer) err() error {
 	return p.errVal
 }
 
-// Close tears the mesh down.
+// Err reports the latched transport error, if any — nil on a healthy peer.
+func (p *Peer) Err() error { return p.err() }
+
+// Close tears the mesh down, waking any blocked Recv with a "peer closed"
+// error. Close is idempotent.
 func (p *Peer) Close() error {
 	p.mu.Lock()
+	already := p.closed
 	p.closed = true
+	if !already && p.errVal == nil {
+		close(p.done) // fail() closes it otherwise
+	}
 	p.mu.Unlock()
 	for _, c := range p.conns {
 		if c != nil {
@@ -272,7 +427,9 @@ func (p *Peer) Close() error {
 }
 
 // Barrier executes one compiled barrier plan over the mesh, using tags in
-// [tagBase, tagBase+plan stages). The deadline bounds each receive.
+// [tagBase, tagBase+plan stages). The deadline bounds each receive; any
+// transport failure or timeout aborts the barrier with an error naming the
+// stage and the link.
 func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error {
 	if pl.P != p.size {
 		return fmt.Errorf("netmpi: %d-rank plan on %d-rank mesh", pl.P, p.size)
@@ -281,12 +438,12 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 		tag := tagBase + st.Stage
 		for _, dst := range st.Sends {
 			if err := p.Send(dst, tag, nil); err != nil {
-				return err
+				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
 		}
 		for _, src := range st.Recvs {
 			if _, err := p.Recv(src, tag, deadline); err != nil {
-				return err
+				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
 		}
 	}
