@@ -1,6 +1,7 @@
 package topobarrier_test
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -210,6 +211,80 @@ func TestCLIBarrierVet(t *testing.T) {
 	out, code = runCmdExit(t, "./cmd/runbarrier", "-cluster", "quad", "-p", "3", "-alg", bad, "-iters", "1")
 	if code == 0 || !strings.Contains(out, "barriervet") {
 		t.Fatalf("runbarrier did not gate on analysis (exit %d):\n%s", code, out)
+	}
+}
+
+// TestCLIRunBarrierNetExitCode pins the fail-fast contract at the process
+// boundary: a healthy loopback-mesh run exits 0, and a run where any rank
+// fails (here a severed link) exits non-zero with the failing rank named,
+// rather than hanging or reporting success.
+func TestCLIRunBarrierNetExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the runbarrier command over a real TCP mesh")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	out, code := runCmdExit(t, "./cmd/runbarrier", "-net", "-p", "4", "-alg", "dissemination",
+		"-iters", "3", "-warmup", "1", "-telemetry", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("healthy -net run exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "loopback TCP mesh") || !strings.Contains(out, "telemetry: http://") {
+		t.Fatalf("healthy -net output:\n%s", out)
+	}
+	out, code = runCmdExit(t, "./cmd/runbarrier", "-net", "-p", "4", "-alg", "dissemination",
+		"-iters", "3", "-warmup", "1", "-net-deadline", "500ms", "-net-fault", "sever:0:2")
+	if code == 0 {
+		t.Fatalf("-net run with a severed link exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "failed") || !strings.Contains(out, "fail-fast") {
+		t.Fatalf("faulted -net output does not report the failure:\n%s", out)
+	}
+}
+
+// TestCLITraceBarrierNetDrift drives the predicted-vs-observed drift report
+// over a real loopback mesh and checks the Chrome trace artifact parses and
+// carries per-stage spans.
+func TestCLITraceBarrierNetDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the tracebarrier command over a real TCP mesh")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out := runCmd(t, "./cmd/tracebarrier", "-net", "-p", "4", "-alg", "dissemination",
+		"-iters", "2", "-warmup", "1", "-probe-iters", "3", "-trace-out", traceFile)
+	for _, want := range []string{"probed profile", "predicted", "observed", "drift", "total", "wrote Chrome trace"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("drift report missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	stageSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "barrier.stage" && e.Ph == "X" {
+			stageSpans++
+		}
+	}
+	// One traced run of dissemination(4) is 2 stages × 4 ranks, preceded by
+	// an alignment barrier of the same shape: at least 16 complete spans.
+	if stageSpans < 16 {
+		t.Fatalf("trace artifact has %d barrier.stage spans, want ≥ 16", stageSpans)
 	}
 }
 

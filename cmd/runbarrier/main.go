@@ -19,6 +19,13 @@
 //	           [-iters N] [-warmup N] [-seed N] [-congestion] [-novalidate]
 //	           [-net] [-net-deadline D] [-net-dial-timeout D]
 //	           [-net-fault op:rank:frame[:arg]]
+//	           [-telemetry addr] [-trace-out file.json]
+//
+// -telemetry serves the run's metrics registry (Prometheus text at /metrics,
+// expvar at /debug/vars, pprof at /debug/pprof) for the process lifetime;
+// with -net the mesh registers per-link frame/byte counters and wait/stage
+// histograms into it. -trace-out (with -net) writes every measured barrier's
+// per-stage spans as Chrome trace-event JSON.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"topobarrier/internal/netmpi"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
 	"topobarrier/internal/topo"
 )
 
@@ -59,6 +67,9 @@ func main() {
 		netDead    = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
 		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
 		netFault   = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
+
+		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered")
+		traceOut      = flag.String("trace-out", "", "with -net, write the measured barriers as Chrome trace-event JSON")
 	)
 	flag.Parse()
 
@@ -67,11 +78,24 @@ func main() {
 		fatal(err)
 	}
 
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		addr, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
+
 	if *netRun {
-		if err := runNet(name, s, *p, *warmup, *iters, *netDead, *netDial, *netFault); err != nil {
+		if err := runNet(name, s, *p, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *traceOut != "" {
+		fatal(fmt.Errorf("-trace-out records a real transport execution; it requires -net"))
 	}
 
 	var spec topo.Spec
@@ -170,7 +194,7 @@ func resolve(alg string, p int) (string, run.Func, *sched.Schedule, error) {
 // runNet executes the barrier over a real loopback TCP mesh with per-rank
 // failure reporting: every rank either reports its mean barrier time or the
 // transport error that stopped it within its deadline.
-func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string) error {
+func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string) error {
 	if s == nil {
 		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
 	}
@@ -181,6 +205,15 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 	faultRank, injector, err := parseFault(faultSpec)
 	if err != nil {
 		return err
+	}
+	var dialOpts []netmpi.Option
+	if reg != nil {
+		dialOpts = append(dialOpts, netmpi.WithTelemetry(reg))
+	}
+	var tracer *telemetry.Tracer
+	if traceOut != "" {
+		tracer = telemetry.NewTracer()
+		dialOpts = append(dialOpts, netmpi.WithTracer(tracer))
 	}
 
 	listeners := make([]net.Listener, p)
@@ -205,7 +238,7 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			peers[i], dialErrs[i] = netmpi.Dial(i, addrs, listeners[i], dialTimeout)
+			peers[i], dialErrs[i] = netmpi.Dial(i, addrs, listeners[i], dialTimeout, dialOpts...)
 		}()
 	}
 	wg.Wait()
@@ -253,6 +286,12 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 	}
 	fmt.Printf("%s over loopback TCP mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
 		name, p, max, iters, warmup, deadline)
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", traceOut)
+	}
 	return nil
 }
 

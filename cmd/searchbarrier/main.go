@@ -7,8 +7,14 @@
 //
 //	searchbarrier -profile profile.json [-seed-alg hybrid|tree|dissemination|linear]
 //	              [-steps N] [-restarts N] [-workers N] [-budget N] [-rngseed N]
-//	              [-progress] [-o schedule.json]
+//	              [-progress] [-telemetry addr] [-o schedule.json]
 //	searchbarrier -profile tiny.json -exhaustive [-stages N]
+//
+// -telemetry serves live search metrics (candidates/sec, transposition-table
+// hit rate, elite adoptions, per-restart progress) over HTTP for the run's
+// duration: Prometheus text at /metrics, expvar at /debug/vars, pprof at
+// /debug/pprof. Metrics are flushed at exchange-round barriers and never
+// perturb the search result.
 //
 // The portfolio result is bit-identical for any -workers value; the flag only
 // trades wall-clock time for cores.
@@ -26,6 +32,7 @@ import (
 	"topobarrier/internal/profile"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/search"
+	"topobarrier/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +48,8 @@ func main() {
 		exhaustive = flag.Bool("exhaustive", false, "enumerate the full space (P ≤ 3)")
 		stages     = flag.Int("stages", 2, "stage budget for exhaustive search")
 		out        = flag.String("o", "", "write the best schedule as JSON")
+
+		telemetryAddr = flag.String("telemetry", "", "serve search metrics over HTTP for the run's duration (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -49,6 +58,16 @@ func main() {
 		fatal(err)
 	}
 	pd := predict.New(pf)
+
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		addr, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
 
 	var res *search.Result
 	if *exhaustive {
@@ -65,7 +84,7 @@ func main() {
 		before := pd.Cost(seed)
 		opts := search.AnnealOptions{
 			Seed: *rngseed, Steps: *steps, Restarts: *restarts,
-			Workers: *workers, Budget: *budget,
+			Workers: *workers, Budget: *budget, Telemetry: reg,
 		}
 		if *progress {
 			opts.Progress = func(pr search.Progress) {

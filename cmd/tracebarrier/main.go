@@ -3,38 +3,70 @@
 // critical path, and per-link latency statistics — the §VI validation story
 // at single-message granularity.
 //
+// With -net it validates against the *real* transport instead of the
+// simulator: it forms a loopback TCP mesh (internal/netmpi), probes the
+// paper's O/L topological profile over the live links, predicts per-stage
+// completion times from that profile, executes the barrier with per-stage
+// span tracing, and prints a predicted-vs-observed drift table — the §VI
+// comparison closed against an actual network execution. -trace-out
+// additionally writes the traced execution as Chrome trace-event JSON for
+// chrome://tracing or Perfetto.
+//
 // Usage:
 //
 //	tracebarrier -cluster quad|hex -p N [-placement round-robin|block]
 //	             [-alg tree|linear|dissemination|mpi|hybrid] [-seed N] [-width N]
+//	tracebarrier -net -p N [-alg tree|linear|dissemination|hybrid]
+//	             [-iters N] [-warmup N] [-probe-iters N] [-ranks]
+//	             [-net-deadline D] [-net-dial-timeout D] [-trace-out file.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"topobarrier/internal/baseline"
 	"topobarrier/internal/core"
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/mpi"
+	"topobarrier/internal/netmpi"
+	"topobarrier/internal/predict"
 	"topobarrier/internal/probe"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
 	"topobarrier/internal/topo"
 	"topobarrier/internal/trace"
 )
 
 func main() {
 	var (
-		cluster   = flag.String("cluster", "quad", "machine: quad or hex")
+		cluster   = flag.String("cluster", "quad", "machine: quad or hex (simulator mode)")
 		p         = flag.Int("p", 16, "number of ranks")
-		placement = flag.String("placement", "round-robin", "rank placement")
+		placement = flag.String("placement", "round-robin", "rank placement (simulator mode)")
 		alg       = flag.String("alg", "mpi", "barrier: tree, linear, dissemination, mpi, hybrid")
-		seed      = flag.Uint64("seed", 1, "fabric noise seed")
+		seed      = flag.Uint64("seed", 1, "fabric noise seed (simulator mode)")
 		width     = flag.Int("width", 100, "gantt width in columns")
+
+		netRun     = flag.Bool("net", false, "validate against a real loopback TCP mesh instead of the simulator")
+		iters      = flag.Int("iters", 5, "traced barrier executions; observed times are per-cell minima (-net)")
+		warmup     = flag.Int("warmup", 3, "untimed warmup barriers (-net)")
+		probeIters = flag.Int("probe-iters", 8, "ping-pongs per ordered rank pair when probing the profile (-net)")
+		perRank    = flag.Bool("ranks", false, "print the per-rank drift rows, not just the per-stage maxima (-net)")
+		netDead    = flag.Duration("net-deadline", 5*time.Second, "per-receive deadline on the mesh (-net)")
+		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "mesh formation budget (-net)")
+		traceOut   = flag.String("trace-out", "", "write the final traced execution as Chrome trace-event JSON (-net)")
 	)
 	flag.Parse()
+
+	if *netRun {
+		if err := runNetDrift(*alg, *p, *iters, *warmup, *probeIters, *perRank, *netDead, *netDial, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var spec topo.Spec
 	switch *cluster {
@@ -112,6 +144,211 @@ func main() {
 			ls.Src, ls.Dst, ls.Count, ls.Mean*1e6, ls.Max*1e6)
 		stats = append(stats[:worst], stats[worst+1:]...)
 	}
+}
+
+// runNetDrift is the real-transport §VI validation: probe → predict →
+// execute traced → compare, all against one live loopback mesh.
+func runNetDrift(alg string, p, iters, warmup, probeIters int, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
+	if iters <= 0 || warmup < 0 {
+		return fmt.Errorf("need positive -iters and non-negative -warmup")
+	}
+	tracer := telemetry.NewTracer()
+	peers, err := netmpi.LoopbackMesh(p, dialTimeout, netmpi.WithTracer(tracer))
+	if err != nil {
+		return err
+	}
+	defer netmpi.CloseMesh(peers)
+	fmt.Printf("loopback TCP mesh up: %d ranks, %d connections\n", p, p*(p-1)/2)
+
+	// Measure: the paper's O/L profile, probed over the live links.
+	pf, err := netmpi.ProbeProfile(peers, probeIters, deadline)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probed profile %q: O in [%.1fµs, %.1fµs], L in [%.1fµs, %.1fµs]\n",
+		pf.Platform, pf.O.MinOffDiag()*1e6, pf.O.MaxOffDiag()*1e6,
+		pf.L.MinOffDiag()*1e6, pf.L.MaxOffDiag()*1e6)
+
+	// Model: the schedule under test.
+	var s *sched.Schedule
+	switch alg {
+	case "tree":
+		s = sched.Tree(p)
+	case "linear":
+		s = sched.Linear(p)
+	case "dissemination":
+		s = sched.Dissemination(p)
+	case "hybrid":
+		tuned, err := core.Tune(pf, core.Options{})
+		if err != nil {
+			return fmt.Errorf("tuning against the probed profile: %w", err)
+		}
+		s = tuned.Schedule()
+	default:
+		return fmt.Errorf("algorithm %q has no schedule; -net drift needs tree, linear, dissemination, or hybrid", alg)
+	}
+	clean := s.DropEmptyStages()
+	pl, err := run.NewPlan(clean)
+	if err != nil {
+		return err
+	}
+
+	// Predict: per-stage completion times from the probed profile.
+	pd := predict.New(pf)
+	timeline := pd.Timeline(clean)
+
+	// Validate: traced executions over the same mesh the profile came from.
+	// Each traced barrier is preceded, in the same goroutine, by an untimed
+	// alignment barrier: the model charges every rank from a common t=0, so
+	// the ranks must enter the measured barrier together, not staggered by
+	// goroutine launch skew. Tag windows alternate as in MeasureBarrier; a
+	// barrier completing anywhere proves every rank drained the previous
+	// window, so two windows suffice even back-to-back.
+	runOnce := func(tags ...int) error {
+		errs := make(chan error, p)
+		for _, pe := range peers {
+			pe := pe
+			go func() {
+				for _, tag := range tags {
+					if err := pe.Barrier(pl, tag, deadline); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		for range peers {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := 0
+	nextTag := func() int { n++; return (n % 2) * run.TagSpan }
+	for i := 0; i < warmup; i++ {
+		if err := runOnce(nextTag()); err != nil {
+			return fmt.Errorf("warmup barrier: %w", err)
+		}
+	}
+	stages := pl.Stages
+	obs := make([][]float64, stages) // per stage, per rank: min observed completion (s)
+	for k := range obs {
+		obs[k] = make([]float64, p)
+		for i := range obs[k] {
+			obs[k][i] = -1
+		}
+	}
+	obsTotal := -1.0
+	minSkew := -1.0 // best-case spread of rank entries into stage 0
+	for it := 0; it < iters; it++ {
+		tracer.Reset()
+		if err := runOnce(nextTag(), nextTag()); err != nil {
+			return fmt.Errorf("traced barrier %d: %w", it, err)
+		}
+		// Two spans exist per (rank, stage): the alignment barrier's and the
+		// traced one's. The traced span is the later of the two.
+		traced := make(map[[2]int]telemetry.SpanEvent)
+		for _, e := range tracer.Events() {
+			if e.Name != "barrier.stage" || e.Stage >= stages || e.Rank >= p {
+				continue
+			}
+			key := [2]int{e.Rank, e.Stage}
+			if prev, ok := traced[key]; !ok || e.Start > prev.Start {
+				traced[key] = e
+			}
+		}
+		if len(traced) == 0 {
+			return fmt.Errorf("traced run %d recorded no stage spans", it)
+		}
+		start := time.Duration(-1)
+		last := time.Duration(0)
+		end := time.Duration(0)
+		for key, e := range traced {
+			if key[1] == 0 {
+				if start < 0 || e.Start < start {
+					start = e.Start
+				}
+				if e.Start > last {
+					last = e.Start
+				}
+			}
+			if e.End() > end {
+				end = e.End()
+			}
+		}
+		if skew := (last - start).Seconds(); minSkew < 0 || skew < minSkew {
+			minSkew = skew
+		}
+		for key, e := range traced {
+			done := (e.End() - start).Seconds()
+			if cur := obs[key[1]][key[0]]; cur < 0 || done < cur {
+				obs[key[1]][key[0]] = done
+			}
+		}
+		if total := (end - start).Seconds(); obsTotal < 0 || total < obsTotal {
+			obsTotal = total
+		}
+	}
+
+	// Ranks idle in a stage record no span; their completion is the last
+	// stage they did complete (or 0), mirroring the model's carry-forward.
+	for k := 0; k < stages; k++ {
+		for i := 0; i < p; i++ {
+			if obs[k][i] < 0 {
+				if k > 0 {
+					obs[k][i] = obs[k-1][i]
+				} else {
+					obs[k][i] = 0
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\n%s over the real mesh: predicted vs observed per-stage completion (min of %d runs)\n",
+		clean.Name, iters)
+	fmt.Printf("rank entry skew into stage 0: %.1fµs (observed times start at the first entrant)\n", minSkew*1e6)
+	fmt.Printf("%5s  %12s  %12s  %8s\n", "stage", "predicted", "observed", "drift")
+	for k := 0; k < stages; k++ {
+		pmax, omax := maxOf(timeline[k]), maxOf(obs[k])
+		fmt.Printf("%5d  %10.1fµs  %10.1fµs  %+7.1f%%\n", k, pmax*1e6, omax*1e6, driftPct(pmax, omax))
+		if perRank {
+			for i := 0; i < p; i++ {
+				fmt.Printf("      rank %3d  %10.1fµs  %10.1fµs  %+7.1f%%\n",
+					i, timeline[k][i]*1e6, obs[k][i]*1e6, driftPct(timeline[k][i], obs[k][i]))
+			}
+		}
+	}
+	predTotal := pd.Cost(clean)
+	fmt.Printf("%5s  %10.1fµs  %10.1fµs  %+7.1f%%\n", "total", predTotal*1e6, obsTotal*1e6, driftPct(predTotal, obsTotal))
+
+	if traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	max := 0.0
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// driftPct is the signed observed-vs-predicted error; positive means the
+// transport ran slower than the model said.
+func driftPct(pred, obs float64) float64 {
+	if pred <= 0 {
+		return 0
+	}
+	return 100 * (obs - pred) / pred
 }
 
 func fatal(err error) {

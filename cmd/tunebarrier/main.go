@@ -8,6 +8,12 @@
 //
 //	tunebarrier -profile profile.json [-o schedule.json] [-sparseness F]
 //	            [-maxdepth N] [-builders paper|extended] [-dump]
+//	            [-refine N] [-telemetry addr] [-trace-out file.json]
+//
+// -telemetry serves the pipeline's metrics (tune_predicted_cost_seconds and,
+// with -refine, the refinement search's counters) over HTTP for the run's
+// duration. -trace-out writes one span per pipeline phase
+// (compose/vet/refine/plan) as Chrome trace-event JSON.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"topobarrier/internal/profile"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/sss"
+	"topobarrier/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +37,11 @@ func main() {
 		maxdepth   = flag.Int("maxdepth", 0, "clustering recursion bound (0 = unlimited)")
 		builders   = flag.String("builders", "paper", "component set: paper or extended")
 		dump       = flag.Bool("dump", false, "print the stage matrices (Figure 10 style)")
+		refine     = flag.Int("refine", 0, "follow composition with N candidate evaluations of local-search refinement")
+		rngseed    = flag.Uint64("rngseed", 1, "refinement randomness seed")
+
+		telemetryAddr = flag.String("telemetry", "", "serve pipeline metrics over HTTP for the run's duration (e.g. 127.0.0.1:9090)")
+		traceOut      = flag.String("trace-out", "", "write per-phase pipeline spans as Chrome trace-event JSON")
 	)
 	flag.Parse()
 
@@ -39,6 +51,21 @@ func main() {
 	}
 	opts := core.Options{
 		Clustering: sss.Options{Sparseness: *sparseness, MaxDepth: *maxdepth},
+		Refine:     *refine,
+		RefineSeed: *rngseed,
+	}
+	if *telemetryAddr != "" {
+		opts.Telemetry = telemetry.NewRegistry()
+		addr, err := telemetry.Serve(*telemetryAddr, opts.Telemetry)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+		opts.Tracer = tracer
 	}
 	switch *builders {
 	case "paper":
@@ -69,6 +96,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote pipeline trace to %s\n", *traceOut)
 	}
 }
 

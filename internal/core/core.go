@@ -20,6 +20,7 @@ import (
 	"topobarrier/internal/sched"
 	"topobarrier/internal/search"
 	"topobarrier/internal/sss"
+	"topobarrier/internal/telemetry"
 )
 
 // Options configures the adaptive tuning pipeline. The zero value reproduces
@@ -47,6 +48,15 @@ type Options struct {
 	// RefineWorkers bounds the refinement portfolio's goroutines; 0 uses all
 	// cores. It never changes the result, only the wall-clock time.
 	RefineWorkers int
+	// Tracer, when non-nil, records one span per pipeline phase
+	// (tune.profile, tune.compose, tune.vet, tune.refine, tune.plan) so a
+	// tuning run can be inspected in chrome://tracing. Nil keeps every span
+	// a pointer check.
+	Tracer *telemetry.Tracer
+	// Telemetry, when non-nil, is handed to the refinement search (its
+	// candidate/transposition/adoption counters) and receives the pipeline's
+	// tune_predicted_cost_seconds gauge.
+	Telemetry *telemetry.Registry
 }
 
 // Tuned is a specialised barrier produced for one profiled platform.
@@ -88,8 +98,10 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 		builders = sched.PaperBuilders()
 	}
 	pd := &predict.Predictor{Prof: pf, Policy: opts.Policy, StageOverhead: opts.StageOverhead}
+	composeSpan := opts.Tracer.Begin("tune.compose", -1, -1, -1)
 	tree := sss.Tree(pf, opts.Clustering)
 	res, err := compose.Hybrid(pd, tree, builders)
+	composeSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -97,14 +109,19 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	// schedule with Error-severity findings is a composer bug and must not
 	// execute; the report also rides along on the Tuned value so callers can
 	// surface warnings and redundancy opportunities.
+	vetSpan := opts.Tracer.Begin("tune.vet", -1, -1, -1)
 	rep := analyze.Analyze(res.Schedule, analyze.Options{Predictor: pd})
+	vetSpan.End()
 	if err := rep.Err(); err != nil {
 		return nil, fmt.Errorf("core: composed schedule fails barriervet: %w", err)
 	}
 	if opts.Refine > 0 {
+		refineSpan := opts.Tracer.Begin("tune.refine", -1, -1, -1)
 		sres, err := search.Anneal(pd, res.Schedule, search.AnnealOptions{
 			Seed: opts.RefineSeed, Budget: opts.Refine, Workers: opts.RefineWorkers,
+			Telemetry: opts.Telemetry,
 		})
+		refineSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: refinement search: %w", err)
 		}
@@ -112,16 +129,22 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 			// The refined schedule must clear the same gate as the composition;
 			// an Error finding keeps the composed schedule instead of failing
 			// the pipeline, since a verified fallback is in hand.
-			if rrep := analyze.Analyze(sres.Schedule, analyze.Options{Predictor: pd}); rrep.Err() == nil {
+			vetSpan = opts.Tracer.Begin("tune.vet", -1, -1, -1)
+			rrep := analyze.Analyze(sres.Schedule, analyze.Options{Predictor: pd})
+			vetSpan.End()
+			if rrep.Err() == nil {
 				res.Schedule, res.PredictedCost = sres.Schedule, sres.Cost
 				rep = rrep
 			}
 		}
 	}
+	planSpan := opts.Tracer.Begin("tune.plan", -1, -1, -1)
 	plan, err := run.NewPlan(res.Schedule)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	opts.Telemetry.Gauge("tune_predicted_cost_seconds").Set(res.PredictedCost)
 	return &Tuned{Profile: pf, Tree: tree, Result: res, Report: rep, Plan: plan}, nil
 }
 
@@ -130,7 +153,9 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 // pipeline in one call. The profile is also returned via the Tuned value for
 // storage and re-use.
 func ProfileAndTune(w *mpi.World, probeCfg probe.Config, opts Options) (*Tuned, error) {
+	span := opts.Tracer.Begin("tune.profile", -1, -1, -1)
 	pf, err := probe.Measure(w, probeCfg)
+	span.End()
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/sss"
+	"topobarrier/internal/telemetry"
 	"topobarrier/internal/topo"
 )
 
@@ -292,5 +293,50 @@ func TestLowLatencyInterconnectNarrowsTheGap(t *testing.T) {
 	}
 	if ib < 0.9 {
 		t.Fatalf("hybrid slower than tree on IB: %.2f", ib)
+	}
+}
+
+// TestTunePhaseSpans: with a tracer attached, the pipeline records one span
+// per phase (profile/compose/vet/plan, plus refine when enabled) and the
+// predicted-cost gauge lands in the registry; without one, Tune behaves
+// identically.
+func TestTunePhaseSpans(t *testing.T) {
+	w := quadWorld(t, 16, 1)
+	pf := w.Fabric().TrueProfile()
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	tuned, err := Tune(pf, Options{Refine: 200, Tracer: tr, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, e := range tr.Events() {
+		phases[e.Name]++
+	}
+	for _, want := range []string{"tune.compose", "tune.vet", "tune.refine", "tune.plan"} {
+		if phases[want] == 0 {
+			t.Fatalf("missing phase span %q; got %v", want, phases)
+		}
+	}
+	if got := reg.Gauge("tune_predicted_cost_seconds").Value(); got != tuned.PredictedCost() {
+		t.Fatalf("predicted-cost gauge %g, want %g", got, tuned.PredictedCost())
+	}
+	if reg.Counter("search_candidates_total").Value() == 0 {
+		t.Fatal("refinement search left no telemetry despite registry")
+	}
+
+	// ProfileAndTune adds the probing phase.
+	tr2 := telemetry.NewTracer()
+	if _, err := ProfileAndTune(quadWorld(t, 16, 2), probe.Default(), Options{Tracer: tr2}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range tr2.Events() {
+		if e.Name == "tune.profile" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ProfileAndTune recorded no tune.profile span")
 	}
 }

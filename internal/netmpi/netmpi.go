@@ -46,12 +46,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"topobarrier/internal/analyze"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
 )
 
 // Peer is one rank's endpoint in the fully connected mesh.
@@ -66,6 +68,74 @@ type Peer struct {
 	closed bool
 	done   chan struct{} // closed on first failure or on Close; wakes all waiters
 	wg     sync.WaitGroup
+
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	m      peerMetrics
+}
+
+// Option configures a Peer at Dial time.
+type Option func(*Peer)
+
+// WithTelemetry attaches a metrics registry: per-link frame and byte
+// counters, receive-wait and barrier latency histograms, dial retries, and
+// failure latches. A nil registry (or omitting the option) keeps the
+// disabled path: every metric call degrades to a pointer check.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(p *Peer) { p.reg = reg }
+}
+
+// WithTracer attaches a span tracer: each Barrier stage is recorded as a
+// (rank, stage) span, and mesh formation as a per-rank dial span. A nil
+// tracer keeps span emission a pointer check.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(p *Peer) { p.tracer = tr }
+}
+
+// peerMetrics holds the pre-resolved metric handles of one peer. The slices
+// are always allocated (nil entries when telemetry is off) so the hot path
+// is an index plus the metric's own nil check; `enabled` additionally gates
+// the time.Now calls that latency observations need.
+type peerMetrics struct {
+	enabled    bool
+	sendFrames []*telemetry.Counter
+	sendBytes  []*telemetry.Counter
+	recvFrames []*telemetry.Counter
+	recvBytes  []*telemetry.Counter
+	dialRetry  *telemetry.Counter
+	failures   *telemetry.Counter
+	recvWait   *telemetry.Histogram
+	stageDur   *telemetry.Histogram
+	barrierDur *telemetry.Histogram
+}
+
+// initMetrics resolves the peer's metric handles from its registry. With a
+// nil registry every handle stays nil and the slices hold nil pointers.
+func (p *Peer) initMetrics() {
+	p.m.sendFrames = make([]*telemetry.Counter, p.size)
+	p.m.sendBytes = make([]*telemetry.Counter, p.size)
+	p.m.recvFrames = make([]*telemetry.Counter, p.size)
+	p.m.recvBytes = make([]*telemetry.Counter, p.size)
+	if p.reg == nil {
+		return
+	}
+	p.m.enabled = true
+	me := strconv.Itoa(p.rank)
+	for j := 0; j < p.size; j++ {
+		if j == p.rank {
+			continue
+		}
+		pj := strconv.Itoa(j)
+		p.m.sendFrames[j] = p.reg.Counter(telemetry.Label("netmpi_send_frames_total", "rank", me, "peer", pj))
+		p.m.sendBytes[j] = p.reg.Counter(telemetry.Label("netmpi_send_bytes_total", "rank", me, "peer", pj))
+		p.m.recvFrames[j] = p.reg.Counter(telemetry.Label("netmpi_recv_frames_total", "rank", me, "peer", pj))
+		p.m.recvBytes[j] = p.reg.Counter(telemetry.Label("netmpi_recv_bytes_total", "rank", me, "peer", pj))
+	}
+	p.m.dialRetry = p.reg.Counter(telemetry.Label("netmpi_dial_retries_total", "rank", me))
+	p.m.failures = p.reg.Counter(telemetry.Label("netmpi_failures_total", "rank", me))
+	p.m.recvWait = p.reg.Histogram(telemetry.Label("netmpi_recv_wait_seconds", "rank", me), nil)
+	p.m.stageDur = p.reg.Histogram(telemetry.Label("netmpi_stage_seconds", "rank", me), nil)
+	p.m.barrierDur = p.reg.Histogram(telemetry.Label("netmpi_barrier_seconds", "rank", me), nil)
 }
 
 type mailKey struct {
@@ -142,7 +212,7 @@ func Listen(addr string) (net.Listener, error) {
 // handshake claiming an already-connected rank is rejected (both
 // connections closed) rather than silently replacing — and leaking — the
 // established one.
-func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Peer, error) {
+func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts ...Option) (*Peer, error) {
 	p := len(addrs)
 	if rank < 0 || rank >= p {
 		return nil, fmt.Errorf("netmpi: rank %d out of range for %d addresses", rank, p)
@@ -154,6 +224,12 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 		boxes: map[mailKey]*mailbox{},
 		done:  make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(peer)
+	}
+	peer.initMetrics()
+	dialSpan := peer.tracer.Begin("netmpi.dial", rank, -1, -1)
+	defer dialSpan.End()
 	deadline := time.Now().Add(timeout)
 
 	var wg sync.WaitGroup
@@ -186,6 +262,7 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration) (*Pe
 					conn = c
 					break
 				}
+				peer.m.dialRetry.Inc()
 				if time.Now().Add(backoff).After(deadline) {
 					fail(fmt.Errorf("netmpi: rank %d dialing rank %d (%d attempts): %w",
 						rank, j, attempts, err))
@@ -292,6 +369,8 @@ func (p *Peer) reader(src int, conn net.Conn) {
 				return
 			}
 		}
+		p.m.recvFrames[src].Add(1)
+		p.m.recvBytes[src].Add(int64(n))
 		p.box(src, tag).put(payload)
 	}
 }
@@ -314,6 +393,7 @@ func (p *Peer) fail(src int, err error) {
 	default:
 		p.errVal = fmt.Errorf("netmpi: rank %d reading from rank %d: %w", p.rank, src, err)
 	}
+	p.m.failures.Inc()
 	close(p.done)
 }
 
@@ -354,6 +434,8 @@ func (p *Peer) Send(dst, tag int, payload []byte) error {
 	if _, err := p.conns[dst].Write(frame); err != nil {
 		return fmt.Errorf("netmpi: rank %d sending to %d: %w", p.rank, dst, err)
 	}
+	p.m.sendFrames[dst].Add(1)
+	p.m.sendBytes[dst].Add(int64(len(payload)))
 	return nil
 }
 
@@ -367,6 +449,10 @@ func (p *Peer) Recv(src, tag int, deadline time.Duration) ([]byte, error) {
 		return nil, fmt.Errorf("netmpi: rank %d receiving from invalid rank %d", p.rank, src)
 	}
 	b := p.box(src, tag)
+	if p.m.enabled {
+		start := time.Now()
+		defer func() { p.m.recvWait.Observe(time.Since(start).Seconds()) }()
+	}
 	var timeout <-chan time.Time
 	if deadline > 0 {
 		timer := time.NewTimer(deadline)
@@ -434,18 +520,36 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 	if pl.P != p.size {
 		return fmt.Errorf("netmpi: %d-rank plan on %d-rank mesh", pl.P, p.size)
 	}
+	var barrierStart time.Time
+	if p.m.enabled {
+		barrierStart = time.Now()
+	}
 	for _, st := range pl.RankOps(p.rank) {
 		tag := tagBase + st.Stage
+		var stageStart time.Time
+		if p.m.enabled {
+			stageStart = time.Now()
+		}
+		span := p.tracer.Begin("barrier.stage", p.rank, st.Stage, -1)
 		for _, dst := range st.Sends {
 			if err := p.Send(dst, tag, nil); err != nil {
+				span.End()
 				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
 		}
 		for _, src := range st.Recvs {
 			if _, err := p.Recv(src, tag, deadline); err != nil {
+				span.End()
 				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
 		}
+		span.End()
+		if p.m.enabled {
+			p.m.stageDur.Observe(time.Since(stageStart).Seconds())
+		}
+	}
+	if p.m.enabled {
+		p.m.barrierDur.Observe(time.Since(barrierStart).Seconds())
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package netmpi
+
+import (
+	"testing"
+	"time"
+
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures a full dissemination barrier over a
+// live loopback mesh with telemetry disabled (the nil no-op path) and fully
+// enabled (registry + tracer), pinning the disabled path's cost at the
+// system's most telemetry-dense operation. The acceptance budget is a ≤ 2%
+// regression for the disabled path versus a build without telemetry; since
+// both cases here run the same binary, the interesting comparison is
+// disabled vs enabled ns/op.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const p = 4
+	bench := func(b *testing.B, opts ...Option) {
+		peers, err := LoopbackMesh(p, 5*time.Second, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer CloseMesh(peers)
+		pl, err := run.NewPlan(sched.Dissemination(p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		barrier := func(tagBase int) {
+			errs := make(chan error, p)
+			for _, pe := range peers {
+				pe := pe
+				go func() { errs <- pe.Barrier(pl, tagBase, 5*time.Second) }()
+			}
+			for range peers {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		barrier(0) // warm the connections before timing
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			barrier(((n + 1) % 2) * run.TagSpan)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b) })
+	b.Run("enabled", func(b *testing.B) {
+		bench(b, WithTelemetry(telemetry.NewRegistry()), WithTracer(telemetry.NewTracer()))
+	})
+}

@@ -1,0 +1,191 @@
+package netmpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
+)
+
+// barrierMesh forms a loopback mesh and runs one dissemination barrier on
+// every rank, returning after all ranks complete.
+func runMeshBarrier(t *testing.T, peers []*Peer, pl *run.Plan) {
+	t.Helper()
+	errs := make(chan error, len(peers))
+	for _, pe := range peers {
+		pe := pe
+		go func() { errs <- pe.Barrier(pl, 0, 5*time.Second) }()
+	}
+	for range peers {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMeshTelemetryCounters(t *testing.T) {
+	const p = 4
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	peers, err := LoopbackMesh(p, 5*time.Second, WithTelemetry(reg), WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+
+	s := sched.Dissemination(p)
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMeshBarrier(t, peers, pl)
+
+	snap := reg.Snapshot()
+	// Dissemination over 4 ranks: each rank sends one frame per stage (2
+	// stages), so every rank's total outgoing frame count is 2.
+	totalSent := int64(0)
+	for name, v := range snap {
+		if strings.HasPrefix(name, "netmpi_send_frames_total") {
+			totalSent += v.(int64)
+		}
+	}
+	if want := int64(p * pl.Stages); totalSent != want {
+		t.Fatalf("sent frames = %d, want %d\nsnapshot: %v", totalSent, want, snap)
+	}
+	totalRecv := int64(0)
+	for name, v := range snap {
+		if strings.HasPrefix(name, "netmpi_recv_frames_total") {
+			totalRecv += v.(int64)
+		}
+	}
+	if totalRecv != totalSent {
+		t.Fatalf("received %d frames, sent %d", totalRecv, totalSent)
+	}
+
+	// Every rank recorded one barrier duration and per-stage durations.
+	for r := 0; r < p; r++ {
+		name := telemetry.Label("netmpi_barrier_seconds", "rank", string(rune('0'+r)))
+		hv, ok := snap[name].(map[string]any)
+		if !ok {
+			t.Fatalf("missing histogram %s in snapshot", name)
+		}
+		if hv["count"].(int64) != 1 {
+			t.Fatalf("%s count = %v, want 1", name, hv["count"])
+		}
+	}
+
+	// Spans: p dial spans plus p·stages barrier stage spans.
+	evs := tr.Events()
+	stageSpans, dialSpans := 0, 0
+	for _, e := range evs {
+		switch e.Name {
+		case "barrier.stage":
+			stageSpans++
+			if e.Stage < 0 || e.Stage >= pl.Stages || e.Rank < 0 || e.Rank >= p {
+				t.Fatalf("bad stage span %+v", e)
+			}
+		case "netmpi.dial":
+			dialSpans++
+		}
+	}
+	if stageSpans != p*pl.Stages {
+		t.Fatalf("stage spans = %d, want %d", stageSpans, p*pl.Stages)
+	}
+	if dialSpans != p {
+		t.Fatalf("dial spans = %d, want %d", dialSpans, p)
+	}
+}
+
+func TestMeshWithoutTelemetryRecordsNothing(t *testing.T) {
+	peers, err := LoopbackMesh(2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	s := sched.Dissemination(2)
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMeshBarrier(t, peers, pl)
+	// Nothing to assert beyond "no panic": every metric handle is nil.
+}
+
+func TestFailureLatchCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	peers, err := LoopbackMesh(2, 5*time.Second, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	// Kill rank 1; rank 0 must latch a failure, visible in the counter.
+	peers[1].Close()
+	if _, err := peers[0].Recv(1, 7, 2*time.Second); err == nil {
+		t.Fatal("Recv from closed peer succeeded")
+	}
+	c := reg.Counter(telemetry.Label("netmpi_failures_total", "rank", "0"))
+	if c.Value() != 1 {
+		t.Fatalf("failure latch counter = %d, want 1", c.Value())
+	}
+}
+
+func TestProbeProfile(t *testing.T) {
+	const p = 3
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	pf, err := ProbeProfile(peers, 4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.P != p {
+		t.Fatalf("profile P = %d, want %d", pf.P, p)
+	}
+	if err := pf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if pf.O.At(i, i) <= 0 {
+			t.Fatalf("O[%d][%d] = %g, want > 0", i, i, pf.O.At(i, i))
+		}
+		for j := 0; j < p; j++ {
+			if i != j && pf.O.At(i, j) <= 0 {
+				t.Fatalf("O[%d][%d] = %g, want > 0", i, j, pf.O.At(i, j))
+			}
+		}
+	}
+	// The mesh must still be healthy for barrier traffic after probing.
+	pl, err := run.NewPlan(sched.Dissemination(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMeshBarrier(t, peers, pl)
+}
+
+func TestProbeProfileArgErrors(t *testing.T) {
+	peers, err := LoopbackMesh(2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	if _, err := ProbeProfile(peers, 0, time.Second); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+	if _, err := ProbeProfile(peers[:1], 1, time.Second); err == nil {
+		t.Fatal("accepted partial mesh")
+	}
+	if _, err := ProbeProfile([]*Peer{peers[1], peers[0]}, 1, time.Second); err == nil {
+		t.Fatal("accepted out-of-order mesh")
+	}
+}
+
+func TestLoopbackMeshRejectsTinyMesh(t *testing.T) {
+	if _, err := LoopbackMesh(1, time.Second); err == nil {
+		t.Fatal("accepted a 1-rank mesh")
+	}
+}

@@ -152,6 +152,45 @@ func (pd *Predictor) Cost(s *sched.Schedule) float64 {
 	return max
 }
 
+// Timeline returns the predicted per-stage completion times of the model's
+// layered dependency graph: out[k][i] is the time rank i completes stage k,
+// under the same recurrence Cost collapses to its maximum. This is the
+// predicted side of the §VI validation at stage granularity — lined up
+// against observed per-stage completions from an instrumented execution it
+// yields the predicted-vs-measured drift table.
+func (pd *Predictor) Timeline(s *sched.Schedule) [][]float64 {
+	pd.check(s)
+	out := make([][]float64, s.NumStages())
+	t := make([]float64, s.P)
+	next := make([]float64, s.P)
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		dur := make([]float64, s.P)
+		for i := 0; i < s.P; i++ {
+			dur[i] = pd.BatchCost(i, st.Row(i), ready)
+		}
+		for i := 0; i < s.P; i++ {
+			next[i] = t[i] + dur[i]
+		}
+		for m := 0; m < s.P; m++ {
+			arr := t[m] + dur[m]
+			for _, i := range st.Row(m) {
+				if arr > next[i] {
+					next[i] = arr
+				}
+			}
+		}
+		if pd.StageOverhead > 0 {
+			for i := 0; i < s.P; i++ {
+				next[i] += pd.StageOverhead
+			}
+		}
+		out[k] = append([]float64(nil), next...)
+		t, next = next, t
+	}
+	return out
+}
+
 // ArrivalPhaseCost approximates the cost of a full barrier built from an
 // arrival phase, following §VII.B: the arrival cost is doubled to account for
 // the departure transposes, except when the component needs no departure

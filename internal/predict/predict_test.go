@@ -245,3 +245,34 @@ func TestWeightedStages(t *testing.T) {
 		}
 	}
 }
+
+// TestTimelineAgreesWithCost: the final stage's maximum completion must be
+// bit-identical to Cost, and completions must be monotone per rank.
+func TestTimelineAgreesWithCost(t *testing.T) {
+	for _, policy := range []CostPolicy{FirstStageEq1, AlwaysEq1, AlwaysEq2} {
+		pd := &Predictor{Prof: uniformProfile(8, 10e-6, 2e-6, 1e-6), Policy: policy, StageOverhead: 0.5e-6}
+		for _, s := range []*sched.Schedule{sched.Tree(8), sched.Dissemination(8), sched.Linear(8)} {
+			tl := pd.Timeline(s)
+			if len(tl) != s.NumStages() {
+				t.Fatalf("%s: timeline has %d stages, schedule %d", s.Name, len(tl), s.NumStages())
+			}
+			last := tl[len(tl)-1]
+			max := 0.0
+			for _, v := range last {
+				if v > max {
+					max = v
+				}
+			}
+			if cost := pd.Cost(s); max != cost {
+				t.Fatalf("%s policy %v: timeline max %g != Cost %g", s.Name, policy, max, cost)
+			}
+			for i := 0; i < s.P; i++ {
+				for k := 1; k < len(tl); k++ {
+					if tl[k][i] < tl[k-1][i] {
+						t.Fatalf("%s: rank %d completion went backwards at stage %d", s.Name, i, k)
+					}
+				}
+			}
+		}
+	}
+}

@@ -107,6 +107,8 @@ type climber struct {
 	table     map[uint64]float64 // hash -> cost, +Inf for non-barriers
 	maxStages int
 	examined  int
+	ttHits    int // candidates answered from the transposition table
+	accepts   int // mutations kept (cost did not worsen)
 	// best tracks the cheapest state seen during the climb — not just the
 	// end-of-restart state — so a plateau walk can never discard it.
 	best     *sched.Schedule
@@ -146,7 +148,9 @@ func (c *climber) step() {
 	c.apply(m)
 	c.examined++
 	cost, hit := c.table[c.hash]
-	if !hit {
+	if hit {
+		c.ttHits++
+	} else {
 		if c.kc.Barrier(c.s) {
 			cost = c.ev.Cost(c.s)
 		} else {
@@ -157,6 +161,7 @@ func (c *climber) step() {
 		}
 	}
 	if cost <= c.cost {
+		c.accepts++
 		c.cost = cost
 		if cost < c.bestCost {
 			c.bestCost = cost

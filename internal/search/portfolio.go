@@ -2,11 +2,13 @@ package search
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
 	"topobarrier/internal/predict"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/stats"
+	"topobarrier/internal/telemetry"
 )
 
 // The parallel restart portfolio. Restarts are independent climbers advanced
@@ -33,10 +35,83 @@ type Progress struct {
 	StepsDone int
 	// Examined is the total number of candidates evaluated so far.
 	Examined int
+	// TTHits is how many of those candidates were answered from the
+	// transposition table without re-scoring.
+	TTHits int
+	// Accepts counts mutations kept because they did not predict slower.
+	Accepts int
 	// BestCost is the cheapest predicted cost seen by any restart so far.
 	BestCost float64
 	// Elite is the restart index holding the current cheapest state.
 	Elite int
+}
+
+// searchMetrics is the registry view of one Anneal call, flushed by the
+// coordinator at exchange-round barriers (never from the hot loop, so the
+// search result and its determinism are unaffected by telemetry).
+type searchMetrics struct {
+	candidates *telemetry.Counter
+	ttHits     *telemetry.Counter
+	accepts    *telemetry.Counter
+	rounds     *telemetry.Counter
+	adoptions  *telemetry.Counter
+	restarts   *telemetry.Gauge
+	bestCost   *telemetry.Gauge
+	perSteps   []*telemetry.Gauge
+	perBest    []*telemetry.Gauge
+
+	// last-flushed totals, for delta accounting into monotonic counters
+	lastExamined, lastHits, lastAccepts int
+}
+
+func newSearchMetrics(reg *telemetry.Registry, restarts int) *searchMetrics {
+	m := &searchMetrics{
+		candidates: reg.Counter("search_candidates_total"),
+		ttHits:     reg.Counter("search_tt_hits_total"),
+		accepts:    reg.Counter("search_accepts_total"),
+		rounds:     reg.Counter("search_exchange_rounds_total"),
+		adoptions:  reg.Counter("search_elite_adoptions_total"),
+		restarts:   reg.Gauge("search_restarts"),
+		bestCost:   reg.Gauge("search_best_cost_seconds"),
+		perSteps:   make([]*telemetry.Gauge, restarts),
+		perBest:    make([]*telemetry.Gauge, restarts),
+	}
+	for r := 0; r < restarts; r++ {
+		rs := strconv.Itoa(r)
+		m.perSteps[r] = reg.Gauge(telemetry.Label("search_restart_steps", "restart", rs))
+		m.perBest[r] = reg.Gauge(telemetry.Label("search_restart_best_seconds", "restart", rs))
+	}
+	m.restarts.Set(float64(restarts))
+	return m
+}
+
+// adoptionInc counts one elite adoption; no-op on nil metrics.
+func (m *searchMetrics) adoptionInc() {
+	if m == nil {
+		return
+	}
+	m.adoptions.Inc()
+}
+
+// flush publishes the round's aggregate deltas and per-restart gauges.
+func (m *searchMetrics) flush(climbers []*climber, stepsDone int, bestCost float64) {
+	if m == nil {
+		return
+	}
+	examined, hits, accepts := 0, 0, 0
+	for r, c := range climbers {
+		examined += c.examined
+		hits += c.ttHits
+		accepts += c.accepts
+		m.perSteps[r].Set(float64(stepsDone))
+		m.perBest[r].Set(c.bestCost)
+	}
+	m.candidates.Add(int64(examined - m.lastExamined))
+	m.ttHits.Add(int64(hits - m.lastHits))
+	m.accepts.Add(int64(accepts - m.lastAccepts))
+	m.lastExamined, m.lastHits, m.lastAccepts = examined, hits, accepts
+	m.rounds.Inc()
+	m.bestCost.Set(bestCost)
 }
 
 // runPortfolio drives all restarts to completion and returns the climbers
@@ -45,6 +120,10 @@ func runPortfolio(climbers []*climber, opts AnnealOptions) {
 	workers := opts.Workers
 	if workers > len(climbers) {
 		workers = len(climbers)
+	}
+	var metrics *searchMetrics
+	if opts.Telemetry != nil {
+		metrics = newSearchMetrics(opts.Telemetry, len(climbers))
 	}
 	stepsLeft := opts.Steps
 	rounds := (opts.Steps + opts.ExchangeEvery - 1) / opts.ExchangeEvery
@@ -90,26 +169,34 @@ func runPortfolio(climbers []*climber, opts AnnealOptions) {
 			for r, c := range climbers {
 				if r != elite && c.cost > ec*eliteAdoptFactor {
 					c.adopt(es, ec)
+					metrics.adoptionInc()
 				}
 			}
 		}
-		if opts.Progress != nil {
-			examined := 0
+		if opts.Progress != nil || metrics != nil {
+			examined, hits, accepts := 0, 0, 0
 			bestCost := climbers[0].bestCost
 			bestAt := 0
 			for r, c := range climbers {
 				examined += c.examined
+				hits += c.ttHits
+				accepts += c.accepts
 				if c.bestCost < bestCost {
 					bestCost, bestAt = c.bestCost, r
 				}
 			}
-			opts.Progress(Progress{
-				Round: round + 1, Rounds: rounds,
-				StepsDone: opts.Steps - stepsLeft,
-				Examined:  examined,
-				BestCost:  bestCost,
-				Elite:     bestAt,
-			})
+			metrics.flush(climbers, opts.Steps-stepsLeft, bestCost)
+			if opts.Progress != nil {
+				opts.Progress(Progress{
+					Round: round + 1, Rounds: rounds,
+					StepsDone: opts.Steps - stepsLeft,
+					Examined:  examined,
+					TTHits:    hits,
+					Accepts:   accepts,
+					BestCost:  bestCost,
+					Elite:     bestAt,
+				})
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"topobarrier/internal/mat"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
 )
 
 // Result is a searched barrier and its predicted cost.
@@ -119,6 +120,13 @@ type AnnealOptions struct {
 	// Progress, when non-nil, is called from the coordinating goroutine
 	// after every exchange round.
 	Progress func(Progress)
+	// Telemetry, when non-nil, receives the search's runtime metrics:
+	// candidate throughput, transposition-table hit rate, accepted moves,
+	// exchange rounds, elite adoptions, and per-restart progress gauges.
+	// Metrics are flushed at exchange-round barriers by the coordinator, so
+	// enabling them never perturbs the hot mutation loop or the
+	// deterministic result.
+	Telemetry *telemetry.Registry
 }
 
 func (o AnnealOptions) withDefaults(seedSched *sched.Schedule) AnnealOptions {

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"testing"
+
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
+)
+
+// TestAnnealTelemetryCounters checks that an instrumented search populates
+// the registry and that the counters are internally consistent with the
+// returned result.
+func TestAnnealTelemetryCounters(t *testing.T) {
+	pf := uniformProfile(8)
+	pd := predict.New(pf)
+	reg := telemetry.NewRegistry()
+	res, err := Anneal(pd, sched.Dissemination(8), AnnealOptions{
+		Seed: 3, Steps: 600, Restarts: 2, ExchangeEvery: 200, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := reg.Counter("search_candidates_total").Value()
+	if candidates == 0 {
+		t.Fatal("search_candidates_total stayed 0")
+	}
+	if int(candidates) != res.Examined {
+		t.Fatalf("search_candidates_total = %d, result.Examined = %d", candidates, res.Examined)
+	}
+	hits := reg.Counter("search_tt_hits_total").Value()
+	if hits < 0 || hits > candidates {
+		t.Fatalf("tt hits %d out of range [0, %d]", hits, candidates)
+	}
+	if got := reg.Counter("search_exchange_rounds_total").Value(); got != 3 {
+		t.Fatalf("exchange rounds = %d, want 3 (600 steps / 200 per round)", got)
+	}
+	if got := reg.Gauge("search_restarts").Value(); got != 2 {
+		t.Fatalf("search_restarts gauge = %g, want 2", got)
+	}
+	if got := reg.Gauge("search_best_cost_seconds").Value(); got != res.Cost {
+		t.Fatalf("best cost gauge = %g, result cost = %g", got, res.Cost)
+	}
+	for r := 0; r < 2; r++ {
+		name := telemetry.Label("search_restart_steps", "restart", string(rune('0'+r)))
+		if got := reg.Gauge(name).Value(); got != 600 {
+			t.Fatalf("%s = %g, want 600", name, got)
+		}
+	}
+}
+
+// TestAnnealTelemetryDoesNotChangeResult pins the determinism contract:
+// attaching a registry must not perturb the search outcome.
+func TestAnnealTelemetryDoesNotChangeResult(t *testing.T) {
+	pf := uniformProfile(8)
+	pd := predict.New(pf)
+	opts := AnnealOptions{Seed: 11, Steps: 500, Restarts: 2}
+	plain, err := Anneal(pd, sched.Dissemination(8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Telemetry = telemetry.NewRegistry()
+	traced, err := Anneal(pd, sched.Dissemination(8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != traced.Cost || plain.Examined != traced.Examined {
+		t.Fatalf("telemetry changed the result: plain (%g, %d) vs traced (%g, %d)",
+			plain.Cost, plain.Examined, traced.Cost, traced.Examined)
+	}
+	if plain.Schedule.String() != traced.Schedule.String() {
+		t.Fatal("telemetry changed the found schedule")
+	}
+}
+
+// TestProgressCarriesTelemetryFields checks the extended Progress snapshot.
+func TestProgressCarriesTelemetryFields(t *testing.T) {
+	pf := uniformProfile(6)
+	pd := predict.New(pf)
+	var last Progress
+	_, err := Anneal(pd, sched.Dissemination(6), AnnealOptions{
+		Seed: 5, Steps: 400, Restarts: 2, ExchangeEvery: 100,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Examined == 0 {
+		t.Fatal("progress never reported examined candidates")
+	}
+	if last.TTHits < 0 || last.TTHits > last.Examined {
+		t.Fatalf("progress TTHits %d out of range", last.TTHits)
+	}
+	if last.Accepts < 0 || last.Accepts > last.Examined {
+		t.Fatalf("progress Accepts %d out of range", last.Accepts)
+	}
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import "testing"
+
+// The disabled-path cost contract: each disabled operation must be a bare
+// pointer check. These benches pin that — expect sub-nanosecond per op.
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(1)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("x", 0, 0, -1)
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("h", nil)
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish panics
+// on re-registration, and tests may call Serve more than once. The last
+// registry passed to Serve wins, which matches the one-registry-per-process
+// usage of the CLIs.
+var (
+	publishOnce sync.Once
+	publishMu   sync.Mutex
+	publishReg  *Registry
+)
+
+// Handler returns the exposition mux for one registry:
+//
+//	/metrics      Prometheus text format (counters, gauges, histograms)
+//	/debug/vars   expvar JSON (cmdline, memstats, and the registry snapshot)
+//	/debug/pprof  the standard profile index (cpu, heap, goroutine, ...)
+//
+// The registry snapshot appears under the expvar key "telemetry".
+func Handler(reg *Registry) http.Handler {
+	publishMu.Lock()
+	publishReg = reg
+	publishMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			publishMu.Lock()
+			r := publishReg
+			publishMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "topobarrier telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the exposition server on addr (for example "127.0.0.1:9774",
+// or ":0" to pick a free port) in a background goroutine and returns the
+// resolved listen address. The server lives until the process exits — the
+// CLIs serve scrapes for exactly as long as the run they observe.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one completed span: a named interval with the fixed attribute
+// set the barrier pipeline needs (rank, stage, peer; -1 when not applicable).
+// Times are offsets from the tracer's epoch, so events from different ranks
+// of one in-process mesh share a clock.
+type SpanEvent struct {
+	Name  string
+	Rank  int
+	Stage int
+	Peer  int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// End returns the span's completion offset from the tracer epoch.
+func (e SpanEvent) End() time.Duration { return e.Start + e.Dur }
+
+// Tracer collects spans from concurrent callers. A nil Tracer ignores all
+// operations: Begin on a nil tracer returns an inert Span whose End is a
+// pointer check, which is the entire disabled-path cost.
+type Tracer struct {
+	epoch time.Time
+	mu    sync.Mutex
+	evs   []SpanEvent
+}
+
+// NewTracer returns a tracer whose epoch is now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// Span is an in-flight interval returned by Begin; call End exactly once.
+type Span struct {
+	tr    *Tracer
+	name  string
+	rank  int
+	stage int
+	peer  int
+	start time.Time
+}
+
+// Begin opens a span. rank, stage, and peer are recorded verbatim (use -1
+// for "not applicable"). On a nil tracer it returns an inert span.
+func (t *Tracer) Begin(name string, rank, stage, peer int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, rank: rank, stage: stage, peer: peer, start: time.Now()}
+}
+
+// End completes the span and records it. No-op on a span from a nil tracer.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	now := time.Now()
+	ev := SpanEvent{
+		Name:  s.name,
+		Rank:  s.rank,
+		Stage: s.stage,
+		Peer:  s.peer,
+		Start: s.start.Sub(s.tr.epoch),
+		Dur:   now.Sub(s.start),
+	}
+	s.tr.mu.Lock()
+	s.tr.evs = append(s.tr.evs, ev)
+	s.tr.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded spans sorted by start time.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanEvent(nil), t.evs...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset discards recorded spans (the epoch is kept, so offsets from before
+// and after a reset stay comparable). No-op on a nil tracer.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.evs = nil
+	t.mu.Unlock()
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Timestamps
+// and durations are microseconds, per the trace-event format spec; the rank
+// becomes the thread id so chrome://tracing and Perfetto draw one swimlane
+// per rank.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]int `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. One swimlane per
+// rank; stage and peer attributes ride along as event args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	doc := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+	for _, e := range evs {
+		tid := e.Rank
+		if tid < 0 {
+			tid = 0
+		}
+		ce := chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			PID:  0,
+			TID:  tid,
+			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+		}
+		if e.Stage >= 0 || e.Peer >= 0 {
+			ce.Args = map[string]int{}
+			if e.Stage >= 0 {
+				ce.Args["stage"] = e.Stage
+			}
+			if e.Peer >= 0 {
+				ce.Args["peer"] = e.Peer
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile writes the Chrome trace JSON to the given path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("barrier.stage", 2, 1, -1)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Name != "barrier.stage" || e.Rank != 2 || e.Stage != 1 || e.Peer != -1 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Dur <= 0 || e.Start < 0 {
+		t.Fatalf("non-positive timing: %+v", e)
+	}
+	if e.End() != e.Start+e.Dur {
+		t.Fatalf("End() = %v, want %v", e.End(), e.Start+e.Dur)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				sp := tr.Begin("s", r, k, -1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 400 {
+		t.Fatalf("%d events, want 400", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("barrier.stage", 1, 0, 3)
+	sp.End()
+	sp = tr.Begin("tune.compose", -1, -1, -1)
+	sp.End()
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]int `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d trace events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("phase %q, want X", ev.Ph)
+		}
+	}
+	stage := doc.TraceEvents[0]
+	if stage.Name != "barrier.stage" || stage.TID != 1 || stage.Args["stage"] != 0 || stage.Args["peer"] != 3 {
+		t.Fatalf("stage event = %+v", stage)
+	}
+	// A negative rank lands in swimlane 0 with no args.
+	tune := doc.TraceEvents[1]
+	if tune.TID != 0 || len(tune.Args) != 0 {
+		t.Fatalf("tune event = %+v", tune)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/mpi"
@@ -18,17 +19,30 @@ import (
 )
 
 // Recorder collects delivered-message events from a runtime via WithTracer.
+// The hook may be invoked from concurrent rank goroutines; appends are
+// serialised internally. Events may be read directly once the traced run has
+// completed (no concurrent hooks in flight).
 type Recorder struct {
+	mu     sync.Mutex
 	Events []mpi.TraceEvent
 }
 
-// Hook returns the callback to install with mpi.WithTracer.
+// Hook returns the callback to install with mpi.WithTracer. It is safe for
+// concurrent use.
 func (r *Recorder) Hook() func(mpi.TraceEvent) {
-	return func(e mpi.TraceEvent) { r.Events = append(r.Events, e) }
+	return func(e mpi.TraceEvent) {
+		r.mu.Lock()
+		r.Events = append(r.Events, e)
+		r.mu.Unlock()
+	}
 }
 
 // Reset discards recorded events.
-func (r *Recorder) Reset() { r.Events = nil }
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.Events = nil
+	r.mu.Unlock()
+}
 
 // Latencies returns the observed per-message latency (arrival − send time)
 // for every event between src and dst; src or dst may be -1 for any.
