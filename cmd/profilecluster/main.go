@@ -7,10 +7,15 @@
 //
 //	profilecluster -cluster quad|hex|single -p N [-placement round-robin|block]
 //	               [-paper] [-full] [-seed N] [-o profile.json] [-heatmap]
+//	               [-profile-cache DIR]
 //
 // By default the light-weight protocol with structural replication (§IV.B)
 // is used; -full measures every pair, -paper selects the paper's exact
 // protocol (sizes 2^0..2^20, batches 1..32, 25 repetitions).
+//
+// With -profile-cache, profiles are keyed by a fingerprint of the cluster
+// spec, rank count, placement, seed, and probe configuration: a repeat run
+// under the same conditions loads the cached profile instead of measuring.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"topobarrier/internal/core"
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/mpi"
 	"topobarrier/internal/probe"
@@ -35,6 +41,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "fabric noise seed")
 		out       = flag.String("o", "profile.json", "output path")
 		heat      = flag.Bool("heatmap", false, "print O and L heat maps")
+		cacheDir  = flag.String("profile-cache", "", "fingerprinted profile cache directory (reuse identical runs)")
 	)
 	flag.Parse()
 
@@ -60,13 +67,33 @@ func main() {
 	}
 	cfg.Replicate = !*full
 
-	fmt.Fprintf(os.Stderr, "profiling %s, %d ranks, %s placement (replicate=%v)...\n",
-		spec.Name, *p, pl.Name(), cfg.Replicate)
-	pf, err := probe.Measure(mpi.NewWorld(fab), cfg)
-	if err != nil {
-		fatal(err)
+	var (
+		cache *profile.Cache
+		fp    profile.Fingerprint
+	)
+	w := mpi.NewWorld(fab)
+	if *cacheDir != "" {
+		cache = &profile.Cache{Dir: *cacheDir}
+		fp = core.ProfileFingerprint(w, cfg, fmt.Sprintf("placement=%s,seed=%d", pl.Name(), *seed))
 	}
-	pf.Platform = fmt.Sprintf("%s, %s placement, seed %d", spec.Name, pl.Name(), *seed)
+	pf, hit, err := cache.Load(fp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profilecluster: ignoring cache entry: %v\n", err)
+	}
+	if hit {
+		fmt.Fprintf(os.Stderr, "profile cache hit (%s), skipping measurement\n", fp)
+	} else {
+		fmt.Fprintf(os.Stderr, "profiling %s, %d ranks, %s placement (replicate=%v)...\n",
+			spec.Name, *p, pl.Name(), cfg.Replicate)
+		pf, err = probe.Measure(w, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pf.Platform = fmt.Sprintf("%s, %s placement, seed %d", spec.Name, pl.Name(), *seed)
+		if err := cache.Store(fp, pf); err != nil {
+			fatal(err)
+		}
+	}
 	if err := pf.Save(*out); err != nil {
 		fatal(err)
 	}

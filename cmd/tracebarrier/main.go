@@ -17,8 +17,15 @@
 //	tracebarrier -cluster quad|hex -p N [-placement round-robin|block]
 //	             [-alg tree|linear|dissemination|mpi|hybrid] [-seed N] [-width N]
 //	tracebarrier -net -p N [-alg tree|linear|dissemination|hybrid]
-//	             [-iters N] [-warmup N] [-probe-iters N] [-ranks]
+//	             [-iters N] [-warmup N] [-probe-iters N] [-workers N]
+//	             [-adaptive K] [-profile-cache DIR] [-drift-tol F] [-ranks]
 //	             [-net-deadline D] [-net-dial-timeout D] [-trace-out file.json]
+//
+// Profiling runs as edge-colored parallel rounds (⌊P/2⌋ disjoint pairs per
+// round, -workers bounds the overlap), stops each pair adaptively once its
+// minimum RTT is stable for -adaptive samples, and with -profile-cache reuses
+// a fingerprinted profile from a previous run, re-validating a sampled
+// subset of links against -drift-tol before trusting it.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"topobarrier/internal/netmpi"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/telemetry"
@@ -53,7 +61,11 @@ func main() {
 		netRun     = flag.Bool("net", false, "validate against a real loopback TCP mesh instead of the simulator")
 		iters      = flag.Int("iters", 5, "traced barrier executions; observed times are per-cell minima (-net)")
 		warmup     = flag.Int("warmup", 3, "untimed warmup barriers (-net)")
-		probeIters = flag.Int("probe-iters", 8, "ping-pongs per ordered rank pair when probing the profile (-net)")
+		probeIters = flag.Int("probe-iters", 8, "max ping-pongs per ordered rank pair when probing the profile (-net)")
+		workers    = flag.Int("workers", 0, "concurrently probed pairs per round; 0 = all disjoint pairs of the round (-net)")
+		adaptive   = flag.Int("adaptive", 3, "stop a probed pair once its min RTT is stable for K samples; 0 = fixed iterations (-net)")
+		cacheDir   = flag.String("profile-cache", "", "fingerprinted profile cache directory; warm profiles skip the probe (-net)")
+		driftTol   = flag.Float64("drift-tol", 0.5, "relative O+L drift that marks a cached link stale during revalidation; 0 trusts the cache blindly (-net)")
 		perRank    = flag.Bool("ranks", false, "print the per-rank drift rows, not just the per-stage maxima (-net)")
 		netDead    = flag.Duration("net-deadline", 5*time.Second, "per-receive deadline on the mesh (-net)")
 		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "mesh formation budget (-net)")
@@ -62,7 +74,11 @@ func main() {
 	flag.Parse()
 
 	if *netRun {
-		if err := runNetDrift(*alg, *p, *iters, *warmup, *probeIters, *perRank, *netDead, *netDial, *traceOut); err != nil {
+		popts := probeCLIOptions{
+			iters: *probeIters, workers: *workers, adaptive: *adaptive,
+			cacheDir: *cacheDir, driftTol: *driftTol,
+		}
+		if err := runNetDrift(*alg, *p, *iters, *warmup, popts, *perRank, *netDead, *netDial, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -146,9 +162,16 @@ func main() {
 	}
 }
 
+// probeCLIOptions bundles the profiling flags of -net mode.
+type probeCLIOptions struct {
+	iters, workers, adaptive int
+	cacheDir                 string
+	driftTol                 float64
+}
+
 // runNetDrift is the real-transport §VI validation: probe → predict →
 // execute traced → compare, all against one live loopback mesh.
-func runNetDrift(alg string, p, iters, warmup, probeIters int, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
+func runNetDrift(alg string, p, iters, warmup int, popts probeCLIOptions, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
 	if iters <= 0 || warmup < 0 {
 		return fmt.Errorf("need positive -iters and non-negative -warmup")
 	}
@@ -160,10 +183,38 @@ func runNetDrift(alg string, p, iters, warmup, probeIters int, perRank bool, dea
 	defer netmpi.CloseMesh(peers)
 	fmt.Printf("loopback TCP mesh up: %d ranks, %d connections\n", p, p*(p-1)/2)
 
-	// Measure: the paper's O/L profile, probed over the live links.
-	pf, err := netmpi.ProbeProfile(peers, probeIters, deadline)
-	if err != nil {
-		return err
+	// Measure: the paper's O/L profile, probed over the live links in
+	// parallel rounds (or served from the fingerprinted cache).
+	probeOpts := netmpi.ProbeOptions{
+		MaxIters: popts.iters, StableK: popts.adaptive, Workers: popts.workers,
+		Deadline: deadline, Tracer: tracer,
+	}
+	var pf *profile.Profile
+	var rep *netmpi.ProbeReport
+	if popts.cacheDir != "" {
+		cache := &profile.Cache{Dir: popts.cacheDir}
+		var hit bool
+		pf, rep, hit, err = netmpi.ProbeProfileCached(peers, probeOpts, cache, popts.driftTol)
+		if err != nil {
+			return err
+		}
+		if hit {
+			fmt.Printf("profile cache hit (%s) in %s\n",
+				netmpi.ProbeFingerprint(p, probeOpts), popts.cacheDir)
+		} else {
+			fmt.Printf("profile cache miss; stored %s in %s\n",
+				netmpi.ProbeFingerprint(p, probeOpts), popts.cacheDir)
+		}
+	} else {
+		pf, rep, err = netmpi.ProbeProfileOpts(peers, probeOpts)
+		if err != nil {
+			return err
+		}
+	}
+	if n := rep.TotalSamples(); n > 0 {
+		lo, med, hi := rep.SampleStats()
+		fmt.Printf("probe: %d rounds, %d samples (per pair min %g / median %g / max %g) in %s\n",
+			rep.Rounds, n, lo, med, hi, rep.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("probed profile %q: O in [%.1fµs, %.1fµs], L in [%.1fµs, %.1fµs]\n",
 		pf.Platform, pf.O.MinOffDiag()*1e6, pf.O.MaxOffDiag()*1e6,

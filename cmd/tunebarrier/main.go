@@ -9,11 +9,17 @@
 //	tunebarrier -profile profile.json [-o schedule.json] [-sparseness F]
 //	            [-maxdepth N] [-builders paper|extended] [-dump]
 //	            [-refine N] [-telemetry addr] [-trace-out file.json]
+//	            [-profile-cache DIR] [-fingerprint PREFIX]
 //
 // -telemetry serves the pipeline's metrics (tune_predicted_cost_seconds and,
 // with -refine, the refinement search's counters) over HTTP for the run's
 // duration. -trace-out writes one span per pipeline phase
 // (compose/vet/refine/plan) as Chrome trace-event JSON.
+//
+// -profile-cache tunes straight from a fingerprinted profile cache (as
+// written by profilecluster or tracebarrier -net) instead of a profile file:
+// the newest entry is used, or the newest whose fingerprint starts with
+// -fingerprint.
 package main
 
 import (
@@ -42,12 +48,30 @@ func main() {
 
 		telemetryAddr = flag.String("telemetry", "", "serve pipeline metrics over HTTP for the run's duration (e.g. 127.0.0.1:9090)")
 		traceOut      = flag.String("trace-out", "", "write per-phase pipeline spans as Chrome trace-event JSON")
+
+		cacheDir = flag.String("profile-cache", "", "tune from a fingerprinted profile cache instead of -profile")
+		fpPrefix = flag.String("fingerprint", "", "with -profile-cache: fingerprint prefix selecting the entry (default: newest)")
 	)
 	flag.Parse()
 
-	pf, err := profile.Load(*profPath)
-	if err != nil {
-		fatal(err)
+	var pf *profile.Profile
+	if *cacheDir != "" {
+		cache := &profile.Cache{Dir: *cacheDir}
+		cpf, fp, ok, err := cache.LoadLatest(*fpPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fatal(fmt.Errorf("no cache entry under %s matching fingerprint prefix %q", *cacheDir, *fpPrefix))
+		}
+		fmt.Fprintf(os.Stderr, "profile cache hit (%s)\n", fp)
+		pf = cpf
+	} else {
+		var err error
+		pf, err = profile.Load(*profPath)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	opts := core.Options{
 		Clustering: sss.Options{Sparseness: *sparseness, MaxDepth: *maxdepth},

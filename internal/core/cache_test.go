@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"topobarrier/internal/probe"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/telemetry"
+)
+
+// TestProfileAndTuneUsesCache checks the warm-profile path end to end: the
+// first call measures and populates the cache, the second tunes from the
+// cached profile (bit-identical, no re-measurement), and a different salt
+// keys a separate slot.
+func TestProfileAndTuneUsesCache(t *testing.T) {
+	w := quadWorld(t, 16, 2)
+	cfg := probe.Default()
+	reg := telemetry.NewRegistry()
+	cache := &profile.Cache{Dir: t.TempDir(), Reg: reg}
+	opts := Options{ProfileCache: cache, CacheSalt: "seed=2"}
+
+	t1, err := ProfileAndTune(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("probe_cache_misses_total").Value(); v != 1 {
+		t.Fatalf("first run: misses = %d, want 1", v)
+	}
+	t2, err := ProfileAndTune(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("probe_cache_hits_total").Value(); v != 1 {
+		t.Fatalf("second run: hits = %d, want 1", v)
+	}
+	b1, _ := json.Marshal(t1.Profile)
+	b2, _ := json.Marshal(t2.Profile)
+	if string(b1) != string(b2) {
+		t.Fatal("cache hit tuned from a different profile than the one measured")
+	}
+	if t2.PredictedCost() != t1.PredictedCost() {
+		t.Fatalf("predicted cost drifted across the cache: %g vs %g", t1.PredictedCost(), t2.PredictedCost())
+	}
+
+	// A different salt must not reuse the slot.
+	salted := opts
+	salted.CacheSalt = "seed=3"
+	if fp := ProfileFingerprint(w, cfg, salted.CacheSalt); fp == ProfileFingerprint(w, cfg, opts.CacheSalt) {
+		t.Fatal("salt does not discriminate fingerprints")
+	}
+	if _, err := ProfileAndTune(w, cfg, salted); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("probe_cache_misses_total").Value(); v != 2 {
+		t.Fatalf("salted run: misses = %d, want 2", v)
+	}
+}

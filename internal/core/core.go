@@ -57,6 +57,14 @@ type Options struct {
 	// candidate/transposition/adoption counters) and receives the pipeline's
 	// tune_predicted_cost_seconds gauge.
 	Telemetry *telemetry.Registry
+	// ProfileCache, when non-nil, lets ProfileAndTune skip the measurement
+	// phase entirely: profiles are keyed by a fingerprint of the fabric spec,
+	// rank count, probe configuration, and CacheSalt, so a platform already
+	// profiled under the same conditions tunes from the warm profile.
+	ProfileCache *profile.Cache
+	// CacheSalt is an extra fingerprint discriminator for conditions the
+	// fabric spec does not encode (placement policy, noise seed).
+	CacheSalt string
 }
 
 // Tuned is a specialised barrier produced for one profiled platform.
@@ -151,13 +159,36 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 // ProfileAndTune profiles the platform of a world with the given benchmark
 // configuration and immediately tunes a barrier for it — the full §III
 // pipeline in one call. The profile is also returned via the Tuned value for
-// storage and re-use.
+// storage and re-use. With Options.ProfileCache set, a platform already
+// profiled under the same fingerprint (fabric spec, rank count, probe
+// configuration, CacheSalt) skips the measurement phase and tunes from the
+// warm profile; a miss measures as usual and populates the cache.
 func ProfileAndTune(w *mpi.World, probeCfg probe.Config, opts Options) (*Tuned, error) {
+	var fp profile.Fingerprint
+	if opts.ProfileCache != nil {
+		fp = ProfileFingerprint(w, probeCfg, opts.CacheSalt)
+		if pf, hit, _ := opts.ProfileCache.Load(fp); hit {
+			return Tune(pf, opts)
+		}
+	}
 	span := opts.Tracer.Begin("tune.profile", -1, -1, -1)
 	pf, err := probe.Measure(w, probeCfg)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
+	if opts.ProfileCache != nil {
+		if err := opts.ProfileCache.Store(fp, pf); err != nil {
+			return nil, fmt.Errorf("core: caching profile: %w", err)
+		}
+	}
 	return Tune(pf, opts)
+}
+
+// ProfileFingerprint is the cache key ProfileAndTune uses for a simulated
+// world: the fabric spec name, rank count, probe configuration, and any
+// caller-supplied salt for conditions the spec does not encode.
+func ProfileFingerprint(w *mpi.World, probeCfg probe.Config, salt string) profile.Fingerprint {
+	return profile.FingerprintOf("sim", w.Fabric().Spec().Name,
+		fmt.Sprintf("p=%d", w.Size()), probeCfg.Key(), salt)
 }

@@ -5,8 +5,6 @@ import (
 	"net"
 	"sync"
 	"time"
-
-	"topobarrier/internal/profile"
 )
 
 // LoopbackMesh forms a complete in-process p-rank mesh over 127.0.0.1
@@ -68,109 +66,3 @@ func CloseMesh(peers []*Peer) {
 	}
 }
 
-// probeTagBase keeps probe traffic out of the barrier tag windows
-// ([0, 2·run.TagSpan) under MeasureBarrier's alternation).
-const probeTagBase = 1 << 20
-
-// ProbeProfile measures a topological profile (the paper's O and L matrices,
-// §IV) over a live in-process mesh — the real-transport analogue of
-// internal/probe's simulator benchmarks, and the input the §VI validation
-// needs to predict what the *transport* should do rather than what the
-// simulator would. For every ordered pair (i, j) it runs iters empty-frame
-// ping-pongs: O[i][j] is the fastest observed Send call (the eager write
-// cost), L[i][j] is the fastest half round trip minus that overhead, and
-// O[i][i] is the rank's fastest send overhead to any peer. Minima rather
-// than means deliberately: scheduling noise on a shared host only ever adds
-// latency, so the minimum is the closest observation to the platform
-// constants the model wants.
-func ProbeProfile(peers []*Peer, iters int, deadline time.Duration) (*profile.Profile, error) {
-	p := len(peers)
-	if p < 2 {
-		return nil, fmt.Errorf("netmpi: probe needs at least 2 peers, got %d", p)
-	}
-	if iters <= 0 {
-		return nil, fmt.Errorf("netmpi: non-positive probe iteration count %d", iters)
-	}
-	for r, pe := range peers {
-		if pe == nil || pe.Rank() != r || pe.Size() != p {
-			return nil, fmt.Errorf("netmpi: probe needs the full mesh in rank order")
-		}
-	}
-	pf := profile.New(fmt.Sprintf("netmpi-loopback(P=%d)", p), p)
-	for i := 0; i < p; i++ {
-		for j := 0; j < p; j++ {
-			if i == j {
-				continue
-			}
-			ping := probeTagBase + 2*(i*p+j)
-			pong := ping + 1
-			var echoErr error
-			done := make(chan struct{})
-			go func() {
-				defer close(done)
-				for it := 0; it < iters; it++ {
-					if _, err := peers[j].Recv(i, ping, deadline); err != nil {
-						echoErr = err
-						return
-					}
-					if err := peers[j].Send(i, pong, nil); err != nil {
-						echoErr = err
-						return
-					}
-				}
-			}()
-			minRTT := time.Duration(0)
-			minSend := time.Duration(0)
-			var pingErr error
-			for it := 0; it < iters; it++ {
-				t0 := time.Now()
-				if pingErr = peers[i].Send(j, ping, nil); pingErr != nil {
-					break
-				}
-				sendCost := time.Since(t0)
-				if _, pingErr = peers[i].Recv(j, pong, deadline); pingErr != nil {
-					break
-				}
-				rtt := time.Since(t0)
-				if it == 0 || rtt < minRTT {
-					minRTT = rtt
-				}
-				if it == 0 || sendCost < minSend {
-					minSend = sendCost
-				}
-			}
-			<-done
-			if pingErr != nil {
-				return nil, fmt.Errorf("netmpi: probing %d→%d: %w", i, j, pingErr)
-			}
-			if echoErr != nil {
-				return nil, fmt.Errorf("netmpi: probe echo %d→%d: %w", i, j, echoErr)
-			}
-			o := minSend.Seconds()
-			l := minRTT.Seconds()/2 - o
-			if l < 0 {
-				l = 0
-			}
-			pf.O.Set(i, j, o)
-			pf.L.Set(i, j, l)
-		}
-	}
-	// Oii: the cost of initiating a request that sends nothing — bounded
-	// above by the cheapest real send the rank performed.
-	for i := 0; i < p; i++ {
-		min := 0.0
-		for j := 0; j < p; j++ {
-			if i == j {
-				continue
-			}
-			if o := pf.O.At(i, j); min == 0 || o < min {
-				min = o
-			}
-		}
-		pf.O.Set(i, i, min)
-	}
-	if err := pf.Validate(); err != nil {
-		return nil, fmt.Errorf("netmpi: probed profile invalid: %w", err)
-	}
-	return pf, nil
-}

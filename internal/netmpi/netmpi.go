@@ -439,12 +439,27 @@ func (p *Peer) Send(dst, tag int, payload []byte) error {
 	return nil
 }
 
+// ErrRecvCancelled is returned by RecvCancel when the caller's cancel
+// channel closes before a matching message arrives.
+var ErrRecvCancelled = errors.New("netmpi: receive cancelled")
+
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload. The deadline bounds the wait; zero means no time
 // bound, but every Recv — deadline or not — wakes immediately when the peer
 // fails or is closed, returning the latched transport error. Mail delivered
 // before a failure stays readable.
 func (p *Peer) Recv(src, tag int, deadline time.Duration) ([]byte, error) {
+	return p.RecvCancel(src, tag, deadline, nil)
+}
+
+// RecvCancel is Recv with a third wake source: when cancel closes before a
+// matching message arrives, the wait ends immediately with ErrRecvCancelled
+// (mail that raced in ahead of the cancellation is still returned). A nil
+// cancel channel never fires, making RecvCancel(src, tag, d, nil) ≡ Recv.
+// The probe pipeline uses this to latch a failed pair: when one side of a
+// timed exchange errors out, it cancels its partner's pending receive
+// instead of leaving it blocked until the deadline.
+func (p *Peer) RecvCancel(src, tag int, deadline time.Duration, cancel <-chan struct{}) ([]byte, error) {
 	if src < 0 || src >= p.size || src == p.rank {
 		return nil, fmt.Errorf("netmpi: rank %d receiving from invalid rank %d", p.rank, src)
 	}
@@ -465,6 +480,11 @@ func (p *Peer) Recv(src, tag int, deadline time.Duration) ([]byte, error) {
 		}
 		select {
 		case <-b.avail:
+		case <-cancel:
+			if msg, ok := b.take(); ok {
+				return msg, nil
+			}
+			return nil, ErrRecvCancelled
 		case <-p.done:
 			// Drain mail that raced in ahead of the failure before
 			// reporting it.

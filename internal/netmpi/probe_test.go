@@ -1,0 +1,279 @@
+package netmpi
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"topobarrier/internal/faultnet"
+	"topobarrier/internal/profile"
+	"topobarrier/internal/telemetry"
+)
+
+// TestRecvCancelUnblocks pins the stop-latch mechanism the probe relies on:
+// a receive with a long deadline must return ErrRecvCancelled promptly when
+// the cancel channel closes, not sit out the deadline.
+func TestRecvCancelUnblocks(t *testing.T) {
+	peers, err := LoopbackMesh(2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	_, err = peers[0].RecvCancel(1, 99, 10*time.Second, cancel)
+	if err != ErrRecvCancelled {
+		t.Fatalf("RecvCancel returned %v, want ErrRecvCancelled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled receive took %v, want prompt return", el)
+	}
+}
+
+// TestProbeProfileParallelMatchesSequential checks that the edge-colored
+// parallel schedule measures the same platform the sequential baseline does.
+// Loopback timings are noisy, so the comparison is order-of-magnitude: each
+// direction's round-trip estimate (O+L) must be within a generous factor.
+func TestProbeProfileParallelMatchesSequential(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	seq, _, err := ProbeProfileOpts(peers, ProbeOptions{MaxIters: 8, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, rep, err := ProbeProfileOpts(peers, ProbeOptions{MaxIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != p-1 {
+		t.Fatalf("parallel probe ran %d rounds, want %d", rep.Rounds, p-1)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			s := seq.O.At(i, j) + seq.L.At(i, j)
+			q := par.O.At(i, j) + par.L.At(i, j)
+			if s <= 0 || q <= 0 {
+				t.Fatalf("non-positive estimate for %d→%d: seq %g, par %g", i, j, s, q)
+			}
+			if ratio := q / s; ratio > 20 || ratio < 1.0/20 {
+				t.Errorf("direction %d→%d: parallel %.3gs vs sequential %.3gs (ratio %.1f)", i, j, q, s, ratio)
+			}
+		}
+	}
+}
+
+// TestProbeProfileAdaptive checks the stable-K contract: when early stopping
+// can fire, a direction takes at least StableK+1 and at most MaxIters
+// samples; when StableK exceeds the cap, every direction takes exactly
+// MaxIters samples.
+func TestProbeProfileAdaptive(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+
+	_, rep, err := ProbeProfileOpts(peers, ProbeOptions{MaxIters: 64, StableK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			n := rep.Samples[i][j]
+			if n < 3 || n > 64 {
+				t.Fatalf("direction %d→%d took %d samples, want in [3, 64]", i, j, n)
+			}
+		}
+	}
+
+	_, rep, err = ProbeProfileOpts(peers, ProbeOptions{MaxIters: 3, StableK: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j && rep.Samples[i][j] != 3 {
+				t.Fatalf("direction %d→%d took %d samples, want the hard cap 3", i, j, rep.Samples[i][j])
+			}
+		}
+	}
+}
+
+// TestProbeFingerprintIgnoresSchedulingKnobs pins the cache-key contract:
+// Workers and Sequential change only the wall-clock schedule and must share a
+// fingerprint; the measurement budget must not.
+func TestProbeFingerprintIgnoresSchedulingKnobs(t *testing.T) {
+	base := ProbeFingerprint(8, ProbeOptions{MaxIters: 8, StableK: 3})
+	if got := ProbeFingerprint(8, ProbeOptions{MaxIters: 8, StableK: 3, Workers: 2, Sequential: true}); got != base {
+		t.Fatalf("scheduling knobs changed the fingerprint: %s vs %s", got, base)
+	}
+	if got := ProbeFingerprint(8, ProbeOptions{MaxIters: 16, StableK: 3}); got == base {
+		t.Fatal("MaxIters change kept the fingerprint")
+	}
+	if got := ProbeFingerprint(9, ProbeOptions{MaxIters: 8, StableK: 3}); got == base {
+		t.Fatal("rank-count change kept the fingerprint")
+	}
+}
+
+// TestProbeProfileCachedHit checks the cache round trip: a miss probes and
+// stores, a hit with no drift tolerance returns the stored profile
+// bit-identically, and the telemetry counters record both outcomes.
+func TestProbeProfileCachedHit(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	reg := telemetry.NewRegistry()
+	cache := &profile.Cache{Dir: t.TempDir(), Reg: reg}
+	opts := ProbeOptions{MaxIters: 6}
+
+	pf1, _, hit, err := ProbeProfileCached(peers, opts, cache, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first probe reported a cache hit")
+	}
+	pf2, rep, hit, err := ProbeProfileCached(peers, opts, cache, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second probe missed the cache")
+	}
+	if rep.Rounds != 0 || rep.TotalSamples() != 0 {
+		t.Fatalf("pure cache hit still probed: %d rounds, %d samples", rep.Rounds, rep.TotalSamples())
+	}
+	b1, _ := json.Marshal(pf1)
+	b2, _ := json.Marshal(pf2)
+	if string(b1) != string(b2) {
+		t.Fatal("cached profile differs from the stored one")
+	}
+	if v := reg.Counter("probe_cache_hits_total").Value(); v != 1 {
+		t.Fatalf("probe_cache_hits_total = %d, want 1", v)
+	}
+	if v := reg.Counter("probe_cache_misses_total").Value(); v != 1 {
+		t.Fatalf("probe_cache_misses_total = %d, want 1", v)
+	}
+}
+
+// TestProbeProfileCachedRevalidation drives both drift outcomes: a single
+// tampered link is detected by the sampled revalidation round and patched in
+// place (still a hit), while tampering every sampled direction condemns the
+// whole entry and triggers a full re-probe (a miss).
+func TestProbeProfileCachedRevalidation(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	opts := ProbeOptions{MaxIters: 6}
+	fp := ProbeFingerprint(p, opts)
+
+	t.Run("patch-stale-link", func(t *testing.T) {
+		cache := &profile.Cache{Dir: t.TempDir()}
+		pf, _, _, err := ProbeProfileCached(peers, opts, cache, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round 0 of the tournament samples pairs (0,3) and (1,2); blow up
+		// one sampled direction far past any plausible drift tolerance.
+		tampered := pf.O.At(0, 3) * 1000
+		pf.O.Set(0, 3, tampered)
+		if err := cache.Store(fp, pf); err != nil {
+			t.Fatal(err)
+		}
+		got, _, hit, err := ProbeProfileCached(peers, opts, cache, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatal("one stale link among four sampled directions should not condemn the entry")
+		}
+		if got.O.At(0, 3) >= tampered/10 {
+			t.Fatalf("stale direction not patched: O(0,3) = %g, tampered value %g", got.O.At(0, 3), tampered)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The patch must persist: a subsequent no-revalidation hit sees it.
+		again, _, hit, err := ProbeProfileCached(peers, opts, cache, 0)
+		if err != nil || !hit {
+			t.Fatalf("re-load after patch: hit=%v err=%v", hit, err)
+		}
+		if again.O.At(0, 3) >= tampered/10 {
+			t.Fatal("patched entry was not re-stored")
+		}
+	})
+
+	t.Run("reprobe-when-most-stale", func(t *testing.T) {
+		cache := &profile.Cache{Dir: t.TempDir()}
+		pf, _, _, err := ProbeProfileCached(peers, opts, cache, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range [][2]int{{0, 3}, {3, 0}, {1, 2}, {2, 1}} {
+			pf.O.Set(d[0], d[1], pf.O.At(d[0], d[1])*1000)
+		}
+		if err := cache.Store(fp, pf); err != nil {
+			t.Fatal(err)
+		}
+		got, rep, hit, err := ProbeProfileCached(peers, opts, cache, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatal("an entry with every sampled direction stale still counted as a hit")
+		}
+		if rep.Rounds != p-1 {
+			t.Fatalf("full re-probe ran %d rounds, want %d", rep.Rounds, p-1)
+		}
+		if got.O.At(0, 3) >= pf.O.At(0, 3)/10 {
+			t.Fatal("re-probed profile kept the tampered value")
+		}
+	})
+}
+
+// TestProbeProfileFaultSurfacesFast is the regression for the probe's error
+// slow path: when one side of a pair fails, the partner's pending receive is
+// cancelled through the shared stop latch, so the error surfaces in far less
+// than the receive deadline instead of stalling the probe on it.
+func TestProbeProfileFaultSurfacesFast(t *testing.T) {
+	const deadline = 5 * time.Second
+	peers := faultMesh(t, 2, 0, func() faultnet.Injector { return faultnet.SeverAt(0) })
+	start := time.Now()
+	_, _, err := ProbeProfileOpts(peers, ProbeOptions{MaxIters: 8, Deadline: deadline})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("probing a severed mesh succeeded")
+	}
+	if !strings.Contains(err.Error(), "0→1") && !strings.Contains(err.Error(), "1→0") {
+		t.Fatalf("error does not name the failing direction: %v", err)
+	}
+	if elapsed > deadline/2 {
+		t.Fatalf("fault took %v to surface with a %v deadline — probe stalled on the slow path", elapsed, deadline)
+	}
+	for _, pe := range peers {
+		pe.Close()
+	}
+	checkNoReaderLeak(t)
+}

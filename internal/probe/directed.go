@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"errors"
 	"fmt"
 
 	"topobarrier/internal/mpi"
@@ -65,7 +66,7 @@ func MeasureDirected(w *mpi.World, cfg Config) (*profile.Profile, error) {
 		sizeXs[k] = float64(s)
 	}
 
-	var runErr error
+	pairErr := make([]error, len(pairs))
 	if _, err := w.Run(func(c *mpi.Comm) {
 		me := c.Rank()
 		for pi, pr := range pairs {
@@ -80,7 +81,7 @@ func MeasureDirected(w *mpi.World, cfg Config) (*profile.Profile, error) {
 			}
 			l, o, err := directedReceiver(c, src, tag, cfg, pi, sendAt, sizeXs, batchXs)
 			if err != nil {
-				runErr = err
+				pairErr[pi] = fmt.Errorf("probe: directed pair %d→%d: %w", src, dst, err)
 				continue
 			}
 			lPair[pi], oPair[pi] = l, o
@@ -97,8 +98,8 @@ func MeasureDirected(w *mpi.World, cfg Config) (*profile.Profile, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if runErr != nil {
-		return nil, runErr
+	if err := errors.Join(pairErr...); err != nil {
+		return nil, err
 	}
 
 	pf := profile.New(fab.Spec().Name+" (directed)", p)

@@ -25,6 +25,7 @@
 package probe
 
 import (
+	"errors"
 	"fmt"
 
 	"topobarrier/internal/mpi"
@@ -72,6 +73,14 @@ func Paper() Config {
 	return cfg
 }
 
+// Key renders the measurement-relevant configuration as a stable string for
+// profile cache fingerprints: two configs with equal keys produce
+// interchangeable profiles on the same platform.
+func (cfg Config) Key() string {
+	return fmt.Sprintf("sizes=%v,batches=%v,reps=%d,warmup=%d,replicate=%v",
+		cfg.Sizes, cfg.Batches, cfg.Reps, cfg.Warmup, cfg.Replicate)
+}
+
 func (cfg Config) validate(p int) error {
 	if len(cfg.Sizes) < 2 {
 		return fmt.Errorf("probe: need at least 2 message sizes, have %d", len(cfg.Sizes))
@@ -99,6 +108,14 @@ type pair struct {
 // Measure profiles the world's platform and returns its topological model.
 // The profile is symmetric by construction (the paper's assumption that
 // round-trip cost is twice one-way cost).
+//
+// Pairs are scheduled as edge-colored tournament rounds (Rounds): within a
+// round every rank sits in at most one pair, and the pairs — already on
+// disjoint tag spaces — now also overlap in (virtual) time, collapsing the
+// O(P²) sequential pairwise blocks into ~P concurrent rounds. Disjoint pairs
+// use disjoint links, and per-link noise streams are keyed by (seed, link,
+// call index), so the overlap changes wall/virtual clock only, never the
+// measured values.
 func Measure(w *mpi.World, cfg Config) (*profile.Profile, error) {
 	p := w.Size()
 	if err := cfg.validate(p); err != nil {
@@ -106,24 +123,29 @@ func Measure(w *mpi.World, cfg Config) (*profile.Profile, error) {
 	}
 	fab := w.Fabric()
 
-	// Enumerate the unordered pairs to measure, in deterministic order.
+	// Enumerate the unordered pairs to measure in tournament-round order;
+	// the Replicate filter keeps only the first pair of each link class.
 	var pairs []pair
+	rounds := Rounds(p)
+	sel := make(map[Pair]int, p*(p-1)/2) // scheduled pair → index into pairs
 	classRep := make(map[topo.LinkClass]bool)
-	for i := 0; i < p; i++ {
-		for j := i + 1; j < p; j++ {
-			cl := fab.Class(i, j)
+	for _, round := range rounds {
+		for _, pr := range round {
+			cl := fab.Class(pr.I, pr.J)
 			if cfg.Replicate {
 				if classRep[cl] {
 					continue
 				}
 				classRep[cl] = true
 			}
-			pairs = append(pairs, pair{i: i, j: j, class: cl})
+			sel[pr] = len(pairs)
+			pairs = append(pairs, pair{i: pr.I, j: pr.J, class: cl})
 		}
 	}
 
 	oPair := make([]float64, len(pairs))
 	lPair := make([]float64, len(pairs))
+	pairErr := make([]error, len(pairs))
 	oii := make([]float64, p)
 	sizeXs := make([]float64, len(cfg.Sizes))
 	for k, s := range cfg.Sizes {
@@ -134,23 +156,31 @@ func Measure(w *mpi.World, cfg Config) (*profile.Profile, error) {
 		batchXs[k] = float64(m)
 	}
 
-	var runErr error
 	if _, err := w.Run(func(c *mpi.Comm) {
 		me := c.Rank()
-		for pi, pr := range pairs {
-			if pr.i != me && pr.j != me {
-				continue
+		for _, round := range rounds {
+			pr, ok := roundOf(round, me)
+			if !ok {
+				continue // bye round
 			}
-			tag := pi * 8 // disjoint tag space per pair
-			if pr.i == me {
-				l, o, err := measureInitiator(c, pr.j, tag, cfg, sizeXs, batchXs)
+			pi, ok := sel[pr]
+			if !ok {
+				continue // filtered out by Replicate
+			}
+			tag := (pr.I*p + pr.J) * 8 // disjoint tag space per pair
+			if pr.I == me {
+				l, o, err := measureInitiator(c, pr.J, tag, cfg, sizeXs, batchXs)
 				if err != nil {
-					runErr = err
+					// Record and keep going: the protocol for this pair has
+					// already completed (fits fail after the sweeps), so
+					// staying in the round schedule keeps every later
+					// handshake aligned.
+					pairErr[pi] = fmt.Errorf("probe: pair (%d,%d): %w", pr.I, pr.J, err)
 					continue
 				}
 				lPair[pi], oPair[pi] = l, o
 			} else {
-				measureResponder(c, pr.i, tag, cfg)
+				measureResponder(c, pr.I, tag, cfg)
 			}
 		}
 		// Oii: mean of no-op initiation costs (every rank, measured locally).
@@ -166,8 +196,10 @@ func Measure(w *mpi.World, cfg Config) (*profile.Profile, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if runErr != nil {
-		return nil, runErr
+	// Aggregate every failed pair by name rather than keeping only the last
+	// error: a multi-pair failure names all of them at once.
+	if err := errors.Join(pairErr...); err != nil {
+		return nil, err
 	}
 
 	// Assemble the profile, replicating class representatives if requested.

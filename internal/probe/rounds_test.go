@@ -1,0 +1,100 @@
+package probe
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRoundsProperties: every unordered pair exactly once, no rank twice in a
+// round, round count P−1 (even) / P (odd) — for a sweep of sizes.
+func TestRoundsProperties(t *testing.T) {
+	for p := 2; p <= 33; p++ {
+		rounds := Rounds(p)
+		wantRounds := p - 1
+		if p%2 == 1 {
+			wantRounds = p
+		}
+		if len(rounds) != wantRounds {
+			t.Fatalf("p=%d: %d rounds, want %d", p, len(rounds), wantRounds)
+		}
+		seen := map[Pair]int{}
+		for r, round := range rounds {
+			inRound := map[int]bool{}
+			for _, pr := range round {
+				if pr.I >= pr.J || pr.I < 0 || pr.J >= p {
+					t.Fatalf("p=%d round %d: malformed pair %+v", p, r, pr)
+				}
+				if inRound[pr.I] || inRound[pr.J] {
+					t.Fatalf("p=%d round %d: rank appears twice (%+v)", p, r, pr)
+				}
+				inRound[pr.I], inRound[pr.J] = true, true
+				seen[pr]++
+			}
+		}
+		if want := p * (p - 1) / 2; len(seen) != want {
+			t.Fatalf("p=%d: %d distinct pairs scheduled, want %d", p, len(seen), want)
+		}
+		for pr, n := range seen {
+			if n != 1 {
+				t.Fatalf("p=%d: pair %+v scheduled %d times", p, pr, n)
+			}
+		}
+	}
+}
+
+// TestRoundsDeterministic pins the schedule: two calls agree, and the p=4
+// tournament is exactly the circle-method rotation.
+func TestRoundsDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(Rounds(8), Rounds(8)) {
+		t.Fatal("Rounds(8) not deterministic")
+	}
+	want := [][]Pair{
+		{{I: 0, J: 3}, {I: 1, J: 2}},
+		{{I: 0, J: 2}, {I: 1, J: 3}},
+		{{I: 0, J: 1}, {I: 2, J: 3}},
+	}
+	if got := Rounds(4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rounds(4) = %v, want %v", got, want)
+	}
+}
+
+// TestRoundsOddBye: odd P gives every rank exactly one bye round.
+func TestRoundsOddBye(t *testing.T) {
+	const p = 7
+	byes := make([]int, p)
+	for _, round := range Rounds(p) {
+		in := map[int]bool{}
+		for _, pr := range round {
+			in[pr.I], in[pr.J] = true, true
+		}
+		for r := 0; r < p; r++ {
+			if !in[r] {
+				byes[r]++
+			}
+		}
+	}
+	for r, n := range byes {
+		if n != 1 {
+			t.Fatalf("rank %d has %d byes, want 1", r, n)
+		}
+	}
+}
+
+func TestRoundsTiny(t *testing.T) {
+	if got := Rounds(1); got != nil {
+		t.Fatalf("Rounds(1) = %v, want nil", got)
+	}
+	if got := Rounds(2); len(got) != 1 || len(got[0]) != 1 || got[0][0] != (Pair{0, 1}) {
+		t.Fatalf("Rounds(2) = %v", got)
+	}
+}
+
+func TestRoundOf(t *testing.T) {
+	round := []Pair{{0, 3}, {1, 2}}
+	if pr, ok := roundOf(round, 2); !ok || pr != (Pair{1, 2}) {
+		t.Fatalf("roundOf(2) = %+v, %v", pr, ok)
+	}
+	if _, ok := roundOf(round, 4); ok {
+		t.Fatal("roundOf found a pair for an absent rank")
+	}
+}

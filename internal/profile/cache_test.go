@@ -1,0 +1,144 @@
+package profile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topobarrier/internal/telemetry"
+)
+
+// cacheProfile builds a small valid profile with distinguishable entries.
+func cacheProfile(p int, scale float64) *Profile {
+	pf := New("cache-test", p)
+	for i := 0; i < p; i++ {
+		pf.O.Set(i, i, 1e-6*scale)
+		for j := 0; j < p; j++ {
+			if i != j {
+				pf.O.Set(i, j, 2e-6*scale)
+				pf.L.Set(i, j, 5e-6*scale)
+			}
+		}
+	}
+	return pf
+}
+
+func TestFingerprintOfIsLengthDelimited(t *testing.T) {
+	if FingerprintOf("ab", "c") == FingerprintOf("a", "bc") {
+		t.Fatal("part boundaries do not affect the fingerprint")
+	}
+	if FingerprintOf("x", "y") != FingerprintOf("x", "y") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, hit, err := c.Load(FingerprintOf("x")); hit || err != nil {
+		t.Fatalf("nil cache Load: hit=%v err=%v", hit, err)
+	}
+	if err := c.Store(FingerprintOf("x"), cacheProfile(3, 1)); err != nil {
+		t.Fatalf("nil cache Store: %v", err)
+	}
+	if infos, err := c.List(); infos != nil || err != nil {
+		t.Fatalf("nil cache List: %v %v", infos, err)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := &Cache{Dir: filepath.Join(t.TempDir(), "nested", "cache"), Reg: reg}
+	fp := FingerprintOf("platform", "p=3")
+
+	if _, hit, err := c.Load(fp); hit || err != nil {
+		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	}
+	pf := cacheProfile(3, 1)
+	if err := c.Store(fp, pf); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := c.Load(fp)
+	if err != nil || !hit {
+		t.Fatalf("Load after Store: hit=%v err=%v", hit, err)
+	}
+	b1, _ := json.Marshal(pf)
+	b2, _ := json.Marshal(got)
+	if string(b1) != string(b2) {
+		t.Fatal("cached profile differs from the stored one")
+	}
+	if v := reg.Counter("probe_cache_hits_total").Value(); v != 1 {
+		t.Fatalf("hits counter = %d, want 1", v)
+	}
+	if v := reg.Counter("probe_cache_misses_total").Value(); v != 1 {
+		t.Fatalf("misses counter = %d, want 1", v)
+	}
+}
+
+func TestCacheRejectsCorruptAndMislabelledEntries(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	fp := FingerprintOf("a")
+
+	if err := os.WriteFile(c.Path(fp), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(fp); hit || err == nil {
+		t.Fatalf("corrupt entry: hit=%v err=%v", hit, err)
+	}
+
+	// A valid entry renamed to another fingerprint's slot must not load:
+	// the embedded fingerprint is the audit trail.
+	other := FingerprintOf("b")
+	if err := c.Store(other, cacheProfile(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(c.Path(other), c.Path(fp)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(fp); hit || err == nil {
+		t.Fatalf("mislabelled entry: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestCacheStoreRejectsInvalidProfile(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	bad := cacheProfile(3, 1)
+	bad.O.Set(0, 1, -1)
+	if err := c.Store(FingerprintOf("bad"), bad); err == nil {
+		t.Fatal("stored an invalid profile")
+	}
+}
+
+func TestCacheListAndLoadLatest(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	fpA, fpB := FingerprintOf("first"), FingerprintOf("second")
+	if err := c.Store(fpA, cacheProfile(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(fpB, cacheProfile(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(infos))
+	}
+
+	pf, fp, ok, err := c.LoadLatest(string(fpA)[:4])
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest by prefix: ok=%v err=%v", ok, err)
+	}
+	if fp != fpA || pf.P != 3 {
+		t.Fatalf("LoadLatest by prefix returned %s (P=%d), want %s (P=3)", fp, pf.P, fpA)
+	}
+	if _, _, ok, err := c.LoadLatest("zzzz-no-such-prefix"); ok || err != nil {
+		t.Fatalf("LoadLatest with unmatched prefix: ok=%v err=%v", ok, err)
+	}
+	// Without a prefix some entry loads; both carry distinct save times or
+	// tie-break deterministically, so the call must succeed.
+	if _, _, ok, err := c.LoadLatest(""); !ok || err != nil {
+		t.Fatalf("LoadLatest without prefix: ok=%v err=%v", ok, err)
+	}
+}
