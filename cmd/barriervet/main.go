@@ -6,14 +6,23 @@
 // Eq. 3 (priced against a profile when one is given), and structural lints.
 // It can also syntax-check source emitted by the code generator.
 //
+// It also model-checks: -k runs the fault-resilience certifier (is the
+// schedule still a barrier for the survivors when any k ranks go silent?),
+// -critical-edges names every send whose loss alone breaks Eq. 3, and every
+// schedule that compiles cleanly additionally gets the plan-level protocol
+// checks (matched sends/receives, tag budget, rendezvous cycles) over its
+// compiled form.
+//
 // Usage:
 //
 //	barriervet [-json] [-profile prof.json] [-threshold N] [-witnesses N]
-//	           [-noredundancy] schedule.json...
+//	           [-noredundancy] [-k N] [-critical-edges] schedule.json...
 //	barriervet -gen generated.go
 //
 // Exit status: 0 when every schedule is clean of Error-severity findings,
-// 1 when any schedule fails, 2 on usage or I/O errors.
+// 1 when any schedule fails, 2 on usage or I/O errors. A resilience
+// counterexample is Warning severity — a non-resilient schedule is still a
+// correct barrier — so it does not by itself exit 1.
 package main
 
 import (
@@ -21,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"topobarrier/internal/analyze"
 	"topobarrier/internal/codegen"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/profile"
+	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 )
 
@@ -36,6 +47,8 @@ func main() {
 		threshold = flag.Int("threshold", 0, "fan-in/fan-out hotspot threshold (0 = default 8, negative disables)")
 		witnesses = flag.Int("witnesses", 0, "max stalled-pair witnesses per schedule (0 = default 5)")
 		noRedund  = flag.Bool("noredundancy", false, "skip the greedy redundancy minimisation")
+		certifyK  = flag.Int("k", 0, "certify k-fault resilience: prove the schedule survives any k ranks going silent, or report a minimal counterexample")
+		critEdges = flag.Bool("critical-edges", false, "report every send whose loss alone breaks the barrier, most damaging first")
 		genPath   = flag.String("gen", "", "syntax-check a codegen-generated Go source file instead of analysing schedules")
 	)
 	flag.Parse()
@@ -63,6 +76,8 @@ func main() {
 		FanThreshold:   *threshold,
 		MaxWitnesses:   *witnesses,
 		SkipRedundancy: *noRedund,
+		CertifyK:       *certifyK,
+		CriticalEdges:  *critEdges,
 	}
 	if *profPath != "" {
 		pf, err := profile.Load(*profPath)
@@ -119,7 +134,19 @@ func vetFile(path string, opts analyze.Options) (*analyze.Report, error) {
 	if s.Name == "" {
 		s.Name = path
 	}
-	return analyze.Analyze(&s, opts), nil
+	rep := analyze.Analyze(&s, opts)
+	// A schedule that passes Eq. 3 and the structural gate also gets the
+	// plan-level protocol checks over its compiled form — what a transport
+	// would actually execute.
+	if rep.Barrier && rep.Err() == nil {
+		if pl, err := run.NewPlan(&s); err == nil {
+			rep.Findings = append(rep.Findings, analyze.CheckPlan(pl)...)
+			sort.SliceStable(rep.Findings, func(i, j int) bool {
+				return rep.Findings[i].Severity > rep.Findings[j].Severity
+			})
+		}
+	}
+	return rep, nil
 }
 
 func fatal(err error) {

@@ -63,10 +63,10 @@ func main() {
 		congestion = flag.Bool("congestion", false, "enable NIC serialisation")
 		novalidate = flag.Bool("novalidate", false, "skip the delay-injection synchronization check")
 
-		netRun     = flag.Bool("net", false, "execute over a real loopback TCP mesh (goroutine ranks) instead of the simulator")
-		netDead    = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
-		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
-		netFault   = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
+		netRun   = flag.Bool("net", false, "execute over a real loopback TCP mesh (goroutine ranks) instead of the simulator")
+		netDead  = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
+		netDial  = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
+		netFault = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
 
 		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered")
 		traceOut      = flag.String("trace-out", "", "with -net, write the measured barriers as Chrome trace-event JSON")
@@ -198,9 +198,19 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 	if s == nil {
 		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
 	}
-	pl, _, err := netmpi.VetPlan(s, analyze.Options{SkipRedundancy: true})
+	pl, rep, err := netmpi.VetPlan(s, analyze.Options{SkipRedundancy: true})
 	if err != nil {
+		if rep != nil {
+			fmt.Fprint(os.Stderr, rep)
+		}
 		return err
+	}
+	// Warnings do not gate execution, but silently dropping them hides real
+	// hazards (rendezvous cycles, silent ranks) from the operator.
+	for _, f := range rep.Findings {
+		if f.Severity == analyze.Warning {
+			fmt.Fprintf(os.Stderr, "barriervet: %s\n", f)
+		}
 	}
 	faultRank, injector, err := parseFault(faultSpec)
 	if err != nil {

@@ -105,6 +105,8 @@ type Finding struct {
 	Chain []int `json:"chain,omitempty"`
 	// Edges lists implicated signals (for redundancy: provably removable).
 	Edges []Edge `json:"edges,omitempty"`
+	// K is the fault budget of a resilience finding, 0 otherwise.
+	K int `json:"k,omitempty"`
 	// CostDelta is the predicted seconds saved by acting on the finding
 	// (only set when a predictor was supplied).
 	CostDelta float64 `json:"cost_delta,omitempty"`
@@ -155,6 +157,21 @@ func (r *Report) Err() error {
 	return nil
 }
 
+// ResilienceCounterexample returns the resilience-counterexample finding of
+// the report, or nil when none is present — either because certification was
+// not requested or because the schedule certified. It is the gate condition
+// for callers demanding fault resilience (core.Tune's Options.CertifyK):
+// the counterexample is deliberately not Error severity, since a non-resilient
+// schedule is still a perfectly correct barrier when nothing fails.
+func (r *Report) ResilienceCounterexample() *Finding {
+	for i := range r.Findings {
+		if r.Findings[i].Check == "resilience-counterexample" {
+			return &r.Findings[i]
+		}
+	}
+	return nil
+}
+
 // String renders the report for terminals.
 func (r *Report) String() string {
 	var b strings.Builder
@@ -196,6 +213,16 @@ type Options struct {
 	// RedundancyMaxP bounds the rank count for redundancy analysis.
 	// 0 selects the default of 128.
 	RedundancyMaxP int
+	// CertifyK, when positive, runs the k-fault resilience certifier on
+	// verified barriers: either a Certified{k} finding or a minimal silent
+	// rank set that breaks the barrier, with stalled-pair witnesses.
+	CertifyK int
+	// CertifyMaxSubsets bounds the certifier's exhaustive enumeration
+	// (0 selects its default); above it the pruned candidate search runs.
+	CertifyMaxSubsets int
+	// CriticalEdges, when set, reports every send of a verified barrier
+	// whose loss alone breaks Eq. 3, ranked most damaging first.
+	CriticalEdges bool
 }
 
 const (
@@ -243,8 +270,17 @@ func Analyze(s *sched.Schedule, opts Options) *Report {
 	rep.Barrier = s.P == 1 || (len(ks) > 0 && ks[len(ks)-1].AllSet())
 	if !rep.Barrier {
 		fs = append(fs, witnesses(s, ks, maxWitnesses(opts))...)
-	} else if !opts.SkipRedundancy {
-		fs = append(fs, redundancy(s, opts)...)
+	} else {
+		if !opts.SkipRedundancy {
+			fs = append(fs, redundancy(s, opts)...)
+		}
+		if opts.CertifyK > 0 {
+			res := CertifyK(s, opts.CertifyK, ResilienceOptions{MaxSubsets: opts.CertifyMaxSubsets})
+			fs = append(fs, resilienceFindings(s, res)...)
+		}
+		if opts.CriticalEdges {
+			fs = append(fs, criticalEdgeFindings(s, CriticalEdges(s))...)
+		}
 	}
 
 	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Severity > fs[j].Severity })

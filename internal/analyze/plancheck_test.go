@@ -1,0 +1,184 @@
+package analyze
+
+import (
+	"encoding/json"
+	"testing"
+
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+)
+
+// mustPlan assembles a plan from raw op lists, failing the test on
+// structural rejection.
+func mustPlan(t *testing.T, name string, p, stages int, ops [][]run.StageOps) *run.Plan {
+	t.Helper()
+	pl, err := run.PlanFromOps(name, p, stages, ops)
+	if err != nil {
+		t.Fatalf("PlanFromOps(%s): %v", name, err)
+	}
+	return pl
+}
+
+// checks returns the set of check names present in the findings.
+func checks(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Check]++
+	}
+	return out
+}
+
+// TestCheckPlanCleanSchedules: every compiled library schedule passes the
+// protocol checks with no Error findings; pairwise-exchange schedules get
+// the rendezvous-cycle Warning and nothing more.
+func TestCheckPlanCleanSchedules(t *testing.T) {
+	for _, s := range []*sched.Schedule{
+		sched.Linear(8), sched.Dissemination(8), sched.Tree(8),
+		sched.Ring(8), sched.KAryTree(16, 4), sched.SymmetricDissemination(8),
+	} {
+		pl, err := run.NewPlan(s)
+		if err != nil {
+			t.Fatalf("NewPlan(%s): %v", s.Name, err)
+		}
+		for _, f := range CheckPlan(pl) {
+			if f.Severity == Error {
+				t.Errorf("%s: unexpected Error finding: %s", s.Name, f)
+			}
+		}
+	}
+}
+
+// TestCheckPlanRendezvousCycle: recursive doubling exchanges signals within
+// each stage — a 2-cycle under strict rendezvous ordering — and must be
+// flagged Warning (eager transports complete it), never Error.
+func TestCheckPlanRendezvousCycle(t *testing.T) {
+	pl, err := run.NewPlan(sched.RecursiveDoubling(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := CheckPlan(pl)
+	if n := checks(fs)["plan-rendezvous-cycle"]; n != pl.Stages {
+		t.Errorf("recursive-doubling(8): %d rendezvous-cycle findings, want one per stage (%d)", n, pl.Stages)
+	}
+	for _, f := range fs {
+		if f.Severity == Error {
+			t.Errorf("unexpected Error: %s", f)
+		}
+	}
+	// One-directional schedules have no cycle.
+	pl, err = run.NewPlan(sched.Tree(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := checks(CheckPlan(pl))["plan-rendezvous-cycle"]; n != 0 {
+		t.Errorf("tree(8): %d rendezvous-cycle findings, want none", n)
+	}
+}
+
+// TestCheckPlanUnmatchedSend: a send nobody receives breaks stage
+// quiescence and must be an Error naming the edge.
+func TestCheckPlanUnmatchedSend(t *testing.T) {
+	pl := mustPlan(t, "orphan-send", 2, 1, [][]run.StageOps{
+		{{Stage: 0, Sends: []int{1}}},
+		{}, // rank 1 never posts the receive
+	})
+	fs := CheckPlan(pl)
+	if n := checks(fs)["plan-unmatched-send"]; n != 1 {
+		t.Fatalf("findings %v: want one plan-unmatched-send", fs)
+	}
+	rep := AnalyzePlan(pl)
+	if rep.Err() == nil {
+		t.Error("unmatched send must gate execution")
+	}
+}
+
+// TestCheckPlanUnmatchedRecv: a receive nobody sends to deadlocks the
+// receiver.
+func TestCheckPlanUnmatchedRecv(t *testing.T) {
+	pl := mustPlan(t, "orphan-recv", 2, 1, [][]run.StageOps{
+		{},
+		{{Stage: 0, Recvs: []int{0}}},
+	})
+	if n := checks(CheckPlan(pl))["plan-unmatched-recv"]; n != 1 {
+		t.Fatalf("want one plan-unmatched-recv finding")
+	}
+}
+
+// TestCheckPlanSilencedPlanFindings: Plan.Silenced produces exactly the
+// protocol violations the fault model predicts — the silenced rank's sends
+// become unmatched receives at the survivors.
+func TestCheckPlanSilencedPlanFindings(t *testing.T) {
+	full, err := run.NewPlan(sched.Dissemination(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := CheckPlan(full.Silenced(0))
+	n := checks(fs)["plan-unmatched-recv"]
+	if n == 0 {
+		t.Fatal("silencing rank 0 must orphan its receivers")
+	}
+	for _, f := range fs {
+		if f.Check == "plan-unmatched-recv" && f.Edges[0].From != 0 {
+			t.Errorf("orphaned receive from rank %d, only rank 0 was silenced", f.Edges[0].From)
+		}
+	}
+}
+
+// TestCheckPlanDuplicateAndSelf: duplicated messages under one tag and
+// self-messages are wire-level ambiguities: Errors.
+func TestCheckPlanDuplicateAndSelf(t *testing.T) {
+	pl := mustPlan(t, "dup", 2, 1, [][]run.StageOps{
+		{{Stage: 0, Sends: []int{1, 1}}},
+		{{Stage: 0, Recvs: []int{0, 0}}},
+	})
+	got := checks(CheckPlan(pl))
+	if got["plan-duplicate-message"] != 2 { // one for the send side, one for the recv side
+		t.Errorf("findings %v: want duplicate-message on both sides", got)
+	}
+
+	pl = mustPlan(t, "self", 2, 1, [][]run.StageOps{
+		{{Stage: 0, Sends: []int{0}}},
+		{},
+	})
+	if checks(CheckPlan(pl))["plan-self-message"] != 1 {
+		t.Error("self-send not flagged")
+	}
+}
+
+// TestCheckPlanStageMonotonicity: op lists that revisit a stage index reuse
+// a live tag window.
+func TestCheckPlanStageMonotonicity(t *testing.T) {
+	pl := mustPlan(t, "regress", 2, 2, [][]run.StageOps{
+		{{Stage: 1, Sends: []int{1}}, {Stage: 0, Sends: []int{1}}},
+		{{Stage: 0, Recvs: []int{0}}, {Stage: 1, Recvs: []int{0}}},
+	})
+	if checks(CheckPlan(pl))["plan-structure"] == 0 {
+		t.Error("stage regression not flagged")
+	}
+}
+
+// TestCheckPlanTagOverflow: more stages than the per-invocation tag budget
+// means two in-flight invocations' tag windows collide.
+func TestCheckPlanTagOverflow(t *testing.T) {
+	ops := [][]run.StageOps{{}, {}}
+	pl := mustPlan(t, "wide", 2, run.TagSpan+1, ops)
+	if checks(CheckPlan(pl))["plan-tag-overflow"] != 1 {
+		t.Error("tag overflow not flagged")
+	}
+}
+
+// TestAnalyzePlanReport: the wrapper fills the report header and stays
+// JSON-serialisable.
+func TestAnalyzePlanReport(t *testing.T) {
+	pl, err := run.NewPlan(sched.Tree(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzePlan(pl)
+	if rep.Schedule != pl.Name || rep.P != 8 || rep.Signals == 0 {
+		t.Errorf("report header %+v not filled from plan", rep)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serialisable: %v", err)
+	}
+}

@@ -65,6 +65,13 @@ type Options struct {
 	// CacheSalt is an extra fingerprint discriminator for conditions the
 	// fabric spec does not encode (placement policy, noise seed).
 	CacheSalt string
+	// CertifyK, when positive, demands fault-resilience certification: the
+	// vet pass runs the analyze.CertifyK prover and Tune fails when the tuned
+	// schedule has a counterexample — a set of at most CertifyK ranks whose
+	// silence breaks the barrier for the survivors. During refinement a
+	// cheaper candidate with a counterexample is rejected the same way the
+	// Error-finding gate rejects it, keeping the certified composition.
+	CertifyK int
 }
 
 // Tuned is a specialised barrier produced for one profiled platform.
@@ -117,11 +124,15 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	// schedule with Error-severity findings is a composer bug and must not
 	// execute; the report also rides along on the Tuned value so callers can
 	// surface warnings and redundancy opportunities.
+	vetOpts := analyze.Options{Predictor: pd, CertifyK: opts.CertifyK}
 	vetSpan := opts.Tracer.Begin("tune.vet", -1, -1, -1)
-	rep := analyze.Analyze(res.Schedule, analyze.Options{Predictor: pd})
+	rep := analyze.Analyze(res.Schedule, vetOpts)
 	vetSpan.End()
 	if err := rep.Err(); err != nil {
 		return nil, fmt.Errorf("core: composed schedule fails barriervet: %w", err)
+	}
+	if cex := rep.ResilienceCounterexample(); cex != nil {
+		return nil, fmt.Errorf("core: composed schedule is not %d-fault resilient: %s", opts.CertifyK, cex.Message)
 	}
 	if opts.Refine > 0 {
 		refineSpan := opts.Tracer.Begin("tune.refine", -1, -1, -1)
@@ -138,9 +149,9 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 			// an Error finding keeps the composed schedule instead of failing
 			// the pipeline, since a verified fallback is in hand.
 			vetSpan = opts.Tracer.Begin("tune.vet", -1, -1, -1)
-			rrep := analyze.Analyze(sres.Schedule, analyze.Options{Predictor: pd})
+			rrep := analyze.Analyze(sres.Schedule, vetOpts)
 			vetSpan.End()
-			if rrep.Err() == nil {
+			if rrep.Err() == nil && rrep.ResilienceCounterexample() == nil {
 				res.Schedule, res.PredictedCost = sres.Schedule, sres.Cost
 				rep = rrep
 			}
@@ -151,6 +162,13 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	planSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	// Plan-level protocol checks over the compiled artifact; an Error here
+	// (unmatched message, tag overflow) means the compiled form would break
+	// a transport even though the schedule's matrices passed Eq. 3.
+	rep.Findings = append(rep.Findings, analyze.CheckPlan(plan)...)
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("core: compiled plan fails protocol check: %w", err)
 	}
 	opts.Telemetry.Gauge("tune_predicted_cost_seconds").Set(res.PredictedCost)
 	return &Tuned{Profile: pf, Tree: tree, Result: res, Report: rep, Plan: plan}, nil

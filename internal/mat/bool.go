@@ -399,6 +399,107 @@ func PropagateInto(dst, k, s *Bool) {
 	}
 }
 
+// PropagateSilencedInto computes dst = K + K·S′, where S′ is S with the rows
+// of silenced ranks treated as zero: a silenced rank receives knowledge but
+// never forwards it. silent is a bitset over ranks with at least (N+63)/64
+// words. dst must not alias k or s. This is the inner step of the k-fault
+// resilience certifier — masking at spread time avoids cloning and zeroing a
+// stage matrix for every candidate fault set.
+func PropagateSilencedInto(dst, k, s *Bool, silent []uint64) {
+	if k.n != s.n || dst.n != k.n {
+		panic(fmt.Sprintf("mat: PropagateSilencedInto dimension mismatch %d/%d/%d", dst.n, k.n, s.n))
+	}
+	if len(silent) < (k.n+wordBits-1)/wordBits {
+		panic(fmt.Sprintf("mat: PropagateSilencedInto silent mask has %d words for %d ranks", len(silent), k.n))
+	}
+	copy(dst.rows, k.rows)
+	for i := 0; i < k.n; i++ {
+		base := i * k.words
+		out := dst.rows[base : base+dst.words]
+		for w := 0; w < k.words; w++ {
+			word := k.rows[base+w] &^ silent[w] // silenced relays spread nothing
+			for word != 0 {
+				b := trailingZeros(word)
+				word &^= 1 << uint(b)
+				mrow := (w*wordBits + b) * s.words
+				src := s.rows[mrow : mrow+s.words]
+				for x := range out {
+					out[x] |= src[x]
+				}
+			}
+		}
+	}
+}
+
+// RowCoversAllExcept reports whether row i has every bit set outside the
+// excluded bitset — the survivor-closure test of the resilience certifier
+// (row i of the final knowledge matrix must cover every surviving rank).
+// excl must have at least (N+63)/64 words; bits of excl beyond column N-1
+// are ignored.
+func (m *Bool) RowCoversAllExcept(i int, excl []uint64) bool {
+	m.check(i, 0)
+	if len(excl) < m.words {
+		panic(fmt.Sprintf("mat: RowCoversAllExcept mask has %d words, want %d", len(excl), m.words))
+	}
+	tail := m.words - 1
+	tailMask := ^uint64(0)
+	if r := uint(m.n % wordBits); r != 0 {
+		tailMask = (uint64(1) << r) - 1
+	}
+	base := i * m.words
+	for w := 0; w < tail; w++ {
+		if m.rows[base+w]|excl[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return (m.rows[base+tail]|excl[tail])&tailMask == tailMask
+}
+
+// ReachableFrom computes the set of columns reachable from the seed bitset by
+// repeatedly following set rows of m (transitive closure of one frontier over
+// the union signal graph), writing the result over seed. Rows of silenced
+// ranks are not followed, mirroring PropagateSilencedInto. It is the static
+// reachability primitive the resilience certifier's candidate pruning uses to
+// find articulation ranks; silent may be nil for an unrestricted walk.
+func (m *Bool) ReachableFrom(seed, silent []uint64) {
+	if len(seed) != m.words {
+		panic(fmt.Sprintf("mat: ReachableFrom seed has %d words, want %d", len(seed), m.words))
+	}
+	frontier := make([]uint64, m.words)
+	next := make([]uint64, m.words)
+	copy(frontier, seed)
+	for {
+		grew := false
+		for w := range next {
+			next[w] = 0
+		}
+		for w := 0; w < m.words; w++ {
+			word := frontier[w]
+			if silent != nil {
+				word &^= silent[w]
+			}
+			for word != 0 {
+				b := trailingZeros(word)
+				word &^= 1 << uint(b)
+				row := m.rows[(w*wordBits+b)*m.words : (w*wordBits+b+1)*m.words]
+				for x := range next {
+					next[x] |= row[x] &^ seed[x]
+				}
+			}
+		}
+		for w := range next {
+			if next[w] != 0 {
+				grew = true
+				seed[w] |= next[w]
+			}
+		}
+		if !grew {
+			return
+		}
+		frontier, next = next, frontier
+	}
+}
+
 // String renders the matrix as rows of 0/1 characters, suitable for tests and
 // small stage dumps (as in the paper's Figures 2-4).
 func (m *Bool) String() string {

@@ -65,4 +65,3 @@ func CloseMesh(peers []*Peer) {
 		}
 	}
 }
-

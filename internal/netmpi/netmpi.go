@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -68,6 +69,16 @@ type Peer struct {
 	closed bool
 	done   chan struct{} // closed on first failure or on Close; wakes all waiters
 	wg     sync.WaitGroup
+
+	// Per-link failure state, feeding the resilient execution path. fail()
+	// latches both granularities: linkErr[src]/linkDown[src] record which
+	// link broke (BarrierResilient keeps going around it), while errVal/done
+	// preserve the peer-fails-as-a-unit semantics every plain Recv sees.
+	// closedCh closes only on a locally initiated Close — the one event that
+	// must stop the resilient path too.
+	linkErr  []error
+	linkDown []chan struct{}
+	closedCh chan struct{}
 
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
@@ -218,11 +229,19 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		return nil, fmt.Errorf("netmpi: rank %d out of range for %d addresses", rank, p)
 	}
 	peer := &Peer{
-		rank:  rank,
-		size:  p,
-		conns: make([]net.Conn, p),
-		boxes: map[mailKey]*mailbox{},
-		done:  make(chan struct{}),
+		rank:     rank,
+		size:     p,
+		conns:    make([]net.Conn, p),
+		boxes:    map[mailKey]*mailbox{},
+		done:     make(chan struct{}),
+		linkErr:  make([]error, p),
+		linkDown: make([]chan struct{}, p),
+		closedCh: make(chan struct{}),
+	}
+	for j := 0; j < p; j++ {
+		if j != rank {
+			peer.linkDown[j] = make(chan struct{})
+		}
 	}
 	for _, opt := range opts {
 		opt(peer)
@@ -380,21 +399,44 @@ func (p *Peer) reader(src int, conn net.Conn) {
 // locally initiated Close is orderly, anything else means a participant is
 // gone and the collective cannot complete.
 func (p *Peer) fail(src int, err error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed || p.errVal != nil {
-		return // orderly local shutdown, or already failed
-	}
+	var desc error
 	switch {
 	case errors.Is(err, io.EOF):
-		p.errVal = fmt.Errorf("netmpi: rank %d: connection from rank %d closed (peer exited or crashed)", p.rank, src)
+		desc = fmt.Errorf("netmpi: rank %d: connection from rank %d closed (peer exited or crashed)", p.rank, src)
 	case errors.Is(err, io.ErrUnexpectedEOF):
-		p.errVal = fmt.Errorf("netmpi: rank %d: connection from rank %d severed mid-frame (truncated stream)", p.rank, src)
+		desc = fmt.Errorf("netmpi: rank %d: connection from rank %d severed mid-frame (truncated stream)", p.rank, src)
 	default:
-		p.errVal = fmt.Errorf("netmpi: rank %d reading from rank %d: %w", p.rank, src, err)
+		desc = fmt.Errorf("netmpi: rank %d on link to rank %d: %w", p.rank, src, err)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return // orderly local shutdown
+	}
+	if p.linkErr[src] == nil {
+		p.linkErr[src] = desc
+		close(p.linkDown[src])
+	}
+	if p.errVal != nil {
+		return // peer-level latch already set by an earlier link
+	}
+	p.errVal = desc
 	p.m.failures.Inc()
 	close(p.done)
+}
+
+// LinkErr reports the latched error of the link to one peer rank, nil while
+// the link is healthy. Unlike Err, which reflects the whole peer turning
+// poisoned on the first failure anywhere in the mesh, LinkErr distinguishes
+// which links actually broke — the information the resilient execution path
+// routes around.
+func (p *Peer) LinkErr(src int) error {
+	if src < 0 || src >= p.size || src == p.rank {
+		return fmt.Errorf("netmpi: rank %d has no link to rank %d", p.rank, src)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.linkErr[src]
 }
 
 // box returns (creating on demand) the mailbox for one (source, tag) pair.
@@ -427,12 +469,20 @@ func (p *Peer) Send(dst, tag int, payload []byte) error {
 	if closed {
 		return fmt.Errorf("netmpi: rank %d: send to %d on closed peer", p.rank, dst)
 	}
+	if err := p.writeFrame(dst, tag, payload); err != nil {
+		return fmt.Errorf("netmpi: rank %d sending to %d: %w", p.rank, dst, err)
+	}
+	return nil
+}
+
+// writeFrame encodes and writes one frame, updating the send metrics.
+func (p *Peer) writeFrame(dst, tag int, payload []byte) error {
 	frame := make([]byte, headerBytes+len(payload))
 	binary.BigEndian.PutUint32(frame[:4], uint32(int32(tag)))
 	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
 	copy(frame[headerBytes:], payload)
 	if _, err := p.conns[dst].Write(frame); err != nil {
-		return fmt.Errorf("netmpi: rank %d sending to %d: %w", p.rank, dst, err)
+		return err
 	}
 	p.m.sendFrames[dst].Add(1)
 	p.m.sendBytes[dst].Add(int64(len(payload)))
@@ -519,8 +569,11 @@ func (p *Peer) Close() error {
 	p.mu.Lock()
 	already := p.closed
 	p.closed = true
-	if !already && p.errVal == nil {
-		close(p.done) // fail() closes it otherwise
+	if !already {
+		close(p.closedCh)
+		if p.errVal == nil {
+			close(p.done) // fail() closes it otherwise
+		}
 	}
 	p.mu.Unlock()
 	for _, c := range p.conns {
@@ -574,12 +627,147 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 	return nil
 }
 
+// sendResilient writes one frame unless the link to dst is already latched
+// as failed, in which case it reports skipped. A write error latches the
+// link (not the whole peer: the resilient path's point is to keep going)
+// and reports skipped too — on TCP, writes to a dead peer may buffer
+// silently or surface late, so the reader-side EOF latch is the primary
+// detector and the write error just confirms it.
+func (p *Peer) sendResilient(dst, tag int, payload []byte) (skipped bool, err error) {
+	p.mu.Lock()
+	closed, linkErr := p.closed, p.linkErr[dst]
+	p.mu.Unlock()
+	if closed {
+		return false, fmt.Errorf("netmpi: rank %d: send to %d on closed peer", p.rank, dst)
+	}
+	if linkErr != nil {
+		return true, nil
+	}
+	if werr := p.writeFrame(dst, tag, payload); werr != nil {
+		p.fail(dst, werr)
+		return true, nil
+	}
+	return false, nil
+}
+
+// recvResilient waits for a message from src unless (or until) the link to
+// src is latched as failed. Mail that arrived before the failure is drained
+// and delivered first, exactly like the peer-level path. It reports skipped
+// when the link is down, a timeout error when the deadline passes on a
+// healthy link — the certified-schedule hang case, which resilience cannot
+// excuse — and a closed error on local Close.
+func (p *Peer) recvResilient(src, tag int, deadline time.Duration) (skipped bool, err error) {
+	b := p.box(src, tag)
+	if p.m.enabled {
+		start := time.Now()
+		defer func() { p.m.recvWait.Observe(time.Since(start).Seconds()) }()
+	}
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		if _, ok := b.take(); ok {
+			return false, nil
+		}
+		select {
+		case <-b.avail:
+		case <-p.linkDown[src]:
+			if _, ok := b.take(); ok {
+				return false, nil
+			}
+			return true, nil
+		case <-p.closedCh:
+			if _, ok := b.take(); ok {
+				return false, nil
+			}
+			return false, fmt.Errorf("netmpi: rank %d: peer closed while waiting for (src %d, tag %d)", p.rank, src, tag)
+		case <-timeout:
+			if _, ok := b.take(); ok {
+				return false, nil
+			}
+			return false, fmt.Errorf("netmpi: rank %d timed out after %v waiting for (src %d, tag %d) on a healthy link", p.rank, deadline, src, tag)
+		}
+	}
+}
+
+// BarrierResilient executes one compiled barrier plan like Barrier, but
+// keeps going when peers die mid-barrier: sends to and receives from latched
+// failed links are skipped instead of aborting. It returns the sorted ranks
+// that were skipped.
+//
+// The correctness contract is exactly what analyze.CertifyK certifies: if
+// the plan's schedule is k-fault resilient and at most k ranks die (each
+// detected as its links latch), the knowledge closure among survivors still
+// holds, so every survivor's exit happens after every survivor's entry. On a
+// schedule that is NOT resilient against the dead set, some survivor's
+// required knowledge chain routes through a dead rank; that survivor's
+// receive then waits on a healthy link whose sender is itself stalled, and
+// the deadline converts the certified-impossible wait into an error rather
+// than a hang. Run it only under a positive deadline for that reason.
+func (p *Peer) BarrierResilient(pl *run.Plan, tagBase int, deadline time.Duration) ([]int, error) {
+	if pl.P != p.size {
+		return nil, fmt.Errorf("netmpi: %d-rank plan on %d-rank mesh", pl.P, p.size)
+	}
+	var barrierStart time.Time
+	if p.m.enabled {
+		barrierStart = time.Now()
+	}
+	skipped := make(map[int]bool)
+	for _, st := range pl.RankOps(p.rank) {
+		tag := tagBase + st.Stage
+		var stageStart time.Time
+		if p.m.enabled {
+			stageStart = time.Now()
+		}
+		span := p.tracer.Begin("barrier.stage", p.rank, st.Stage, -1)
+		for _, dst := range st.Sends {
+			skip, err := p.sendResilient(dst, tag, nil)
+			if err != nil {
+				span.End()
+				return nil, fmt.Errorf("barrier stage %d: %w", st.Stage, err)
+			}
+			if skip {
+				skipped[dst] = true
+			}
+		}
+		for _, src := range st.Recvs {
+			skip, err := p.recvResilient(src, tag, deadline)
+			if err != nil {
+				span.End()
+				return nil, fmt.Errorf("barrier stage %d: %w", st.Stage, err)
+			}
+			if skip {
+				skipped[src] = true
+			}
+		}
+		span.End()
+		if p.m.enabled {
+			p.m.stageDur.Observe(time.Since(stageStart).Seconds())
+		}
+	}
+	if p.m.enabled {
+		p.m.barrierDur.Observe(time.Since(barrierStart).Seconds())
+	}
+	out := make([]int, 0, len(skipped))
+	for r := range skipped {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
 // VetPlan is the pre-execution gate for real-network runs: it runs the
-// barriervet static analysis over the schedule and compiles it only when the
-// report carries no Error-severity findings. Unlike run.NewPlan's bare
-// boolean check, a refusal explains itself — the returned report holds the
-// stalled knowledge pairs and chain counterexamples, and is returned even on
-// failure so callers can render it.
+// barriervet static analysis over the schedule, compiles it only when the
+// report carries no Error-severity findings, then runs the plan-level
+// protocol checks (matched sends/receives, tag budget, rendezvous cycles)
+// over the compiled artifact — the thing that actually touches sockets.
+// Unlike run.NewPlan's bare boolean check, a refusal explains itself: the
+// returned report holds the stalled knowledge pairs, chain counterexamples,
+// or protocol violations, and is returned even on failure so callers can
+// render it.
 func VetPlan(s *sched.Schedule, opts analyze.Options) (*run.Plan, *analyze.Report, error) {
 	rep := analyze.Analyze(s, opts)
 	if err := rep.Err(); err != nil {
@@ -588,6 +776,13 @@ func VetPlan(s *sched.Schedule, opts analyze.Options) (*run.Plan, *analyze.Repor
 	pl, err := run.NewPlan(s)
 	if err != nil {
 		return nil, rep, err
+	}
+	rep.Findings = append(rep.Findings, analyze.CheckPlan(pl)...)
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].Severity > rep.Findings[j].Severity
+	})
+	if err := rep.Err(); err != nil {
+		return nil, rep, fmt.Errorf("netmpi: refusing to execute: %w", err)
 	}
 	return pl, rep, nil
 }

@@ -1,0 +1,241 @@
+package netmpi
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topobarrier/internal/analyze"
+	"topobarrier/internal/faultnet"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+)
+
+// TestCertifiedScheduleSurvivesKilledRank closes the certifier's loop on a
+// real mesh: analyze.CertifyK proves symmetric-dissemination(8) survives any
+// one rank going silent, then one rank is killed mid-barrier over loopback
+// TCP and the survivors must (a) complete BarrierResilient without errors,
+// (b) skip exactly the dead rank, and (c) preserve barrier semantics among
+// themselves — no survivor exits before the last survivor entered.
+func TestCertifiedScheduleSurvivesKilledRank(t *testing.T) {
+	const p = 8
+	const victim = 3
+	const delayed = 5 // enters late; every survivor's exit must be after its entry
+
+	s := sched.SymmetricDissemination(p)
+	res := analyze.CertifyK(s, 1, analyze.ResilienceOptions{})
+	if !res.Certified || !res.Exhaustive {
+		t.Fatalf("premise broken: %s not exhaustively certified 1-resilient (cex %v)", s.Name, res.Counterexample)
+	}
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := mesh(t, p)
+
+	// Warmup round: everyone alive, plain Barrier.
+	var warm sync.WaitGroup
+	warmErrs := make([]error, p)
+	for r := 0; r < p; r++ {
+		r := r
+		warm.Add(1)
+		go func() {
+			defer warm.Done()
+			warmErrs[r] = peers[r].Barrier(pl, 0, meshTimeout)
+		}()
+	}
+	waitAll(t, &warm, 15*time.Second, "warmup barrier")
+	for r, err := range warmErrs {
+		if err != nil {
+			t.Fatalf("warmup rank %d: %v", r, err)
+		}
+	}
+
+	// Fault round: the victim dies instead of entering; one survivor enters
+	// late. The deadline is enormous on purpose — completion must come from
+	// failure detection plus the schedule's redundancy, not from timeouts.
+	const deadline = 30 * time.Second
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	skipped := make([][]int, p)
+	exit := make([]time.Time, p)
+	var enterDelayed time.Time
+	start := time.Now()
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r == delayed {
+				time.Sleep(150 * time.Millisecond)
+				enterDelayed = time.Now()
+			}
+			skipped[r], errs[r] = peers[r].BarrierResilient(pl, run.TagSpan, deadline)
+			exit[r] = time.Now()
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the prompt survivors block mid-stage
+	peers[victim].Close()
+	waitAll(t, &wg, 15*time.Second, "resilient survivors")
+
+	union := map[int]bool{}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if errs[r] != nil {
+			t.Errorf("survivor %d failed a certified-survivable barrier: %v", r, errs[r])
+		}
+		for _, dead := range skipped[r] {
+			if dead != victim {
+				t.Errorf("survivor %d skipped healthy rank %d", r, dead)
+			}
+			union[dead] = true
+		}
+		if exit[r].Before(enterDelayed) {
+			t.Errorf("survivor %d exited %v before the delayed survivor entered — barrier semantics broken among survivors",
+				r, enterDelayed.Sub(exit[r]))
+		}
+		if el := exit[r].Sub(start); el > 10*time.Second {
+			t.Errorf("survivor %d needed %v — resilience should not cost timeout-scale waits", r, el)
+		}
+	}
+	if !union[victim] {
+		t.Error("no survivor reported skipping the dead rank")
+	}
+	// The peer-level fail-fast latch coexists with per-link resilience: the
+	// victim's neighbours have a latched peer error AND a latched link error,
+	// yet completed the resilient barrier above.
+	latched := false
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if peers[r].LinkErr(victim) != nil {
+			latched = true
+			if peers[r].Err() == nil {
+				t.Errorf("rank %d: link error latched without the peer-level latch", r)
+			}
+		}
+	}
+	if !latched {
+		t.Error("no survivor latched the link to the dead rank")
+	}
+}
+
+// TestCounterexampleScheduleHangsThenFails is the converse: analyze finds
+// the minimal counterexample {0} for linear(8); silencing exactly that set
+// on the wire — rank 0's frames dropped by fault injection while rank 0
+// itself stays alive and healthy — must stall every other rank until the
+// deadline converts the hang into an error naming the starved link. No
+// failure detection can excuse the wait, because no link ever breaks.
+func TestCounterexampleScheduleHangsThenFails(t *testing.T) {
+	const p = 8
+	s := sched.Linear(p)
+	res := analyze.CertifyK(s, 1, analyze.ResilienceOptions{})
+	if res.Certified || len(res.Counterexample) != 1 || res.Counterexample[0] != 0 {
+		t.Fatalf("premise broken: linear(%d) counterexample = %v (certified=%v), want [0]", p, res.Counterexample, res.Certified)
+	}
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 0 dials nobody, so it accepts all its links; wrapping its listener
+	// intercepts its outbound frames. In linear(p) rank 0 writes exactly one
+	// frame per link per barrier (the departure broadcast), so DropFrom(1)
+	// lets the warmup barrier through and silences rank 0 from round 2 on.
+	peers := faultMesh(t, p, 0, func() faultnet.Injector { return faultnet.DropFrom(1) })
+
+	var warm sync.WaitGroup
+	warmErrs := make([]error, p)
+	for r := 0; r < p; r++ {
+		r := r
+		warm.Add(1)
+		go func() {
+			defer warm.Done()
+			warmErrs[r] = peers[r].Barrier(pl, 0, meshTimeout)
+		}()
+	}
+	waitAll(t, &warm, 15*time.Second, "warmup barrier")
+	for r, err := range warmErrs {
+		if err != nil {
+			t.Fatalf("warmup rank %d: %v", r, err)
+		}
+	}
+
+	// Fault round. Short deadline: the point is that survivors hang the full
+	// deadline (healthy links, no detectable failure) and then fail.
+	const deadline = 700 * time.Millisecond
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	elapsed := make([]time.Duration, p)
+	start := time.Now()
+	for r := 0; r < p; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[r] = peers[r].BarrierResilient(pl, run.TagSpan, deadline)
+			elapsed[r] = time.Since(start)
+		}()
+	}
+	waitAll(t, &wg, 15*time.Second, "starved ranks")
+
+	// Rank 0 itself is healthy and, from its own point of view, completed:
+	// its receives all arrive (arrival funnel) and its eager sends "succeed"
+	// into the injector.
+	if errs[0] != nil {
+		t.Errorf("silenced-on-the-wire rank 0 should complete locally: %v", errs[0])
+	}
+	for r := 1; r < p; r++ {
+		if errs[r] == nil {
+			t.Errorf("rank %d completed a barrier the certifier proved impossible", r)
+			continue
+		}
+		if !strings.Contains(errs[r].Error(), "timed out") || !strings.Contains(errs[r].Error(), "src 0") {
+			t.Errorf("rank %d error should name the starved healthy link to rank 0: %v", r, errs[r])
+		}
+		if elapsed[r] < deadline {
+			t.Errorf("rank %d failed after %v, before the %v deadline — it should hang, then fail", r, elapsed[r], deadline)
+		}
+	}
+}
+
+// TestBarrierResilientHealthyMesh: with nobody dead, BarrierResilient is
+// just Barrier — no skips, no errors, repeatable across tag windows.
+func TestBarrierResilientHealthyMesh(t *testing.T) {
+	const p = 4
+	pl, err := run.NewPlan(sched.SymmetricDissemination(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := mesh(t, p)
+	for round := 0; round < 3; round++ {
+		tagBase := (round % 2) * run.TagSpan
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		skips := make([][]int, p)
+		for r := 0; r < p; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				skips[r], errs[r] = peers[r].BarrierResilient(pl, tagBase, meshTimeout)
+			}()
+		}
+		waitAll(t, &wg, 15*time.Second, "healthy resilient barrier")
+		for r := 0; r < p; r++ {
+			if errs[r] != nil {
+				t.Fatalf("round %d rank %d: %v", round, r, errs[r])
+			}
+			if len(skips[r]) != 0 {
+				t.Fatalf("round %d rank %d skipped %v on a healthy mesh", round, r, skips[r])
+			}
+		}
+	}
+}

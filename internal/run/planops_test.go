@@ -1,0 +1,87 @@
+package run
+
+import (
+	"reflect"
+	"testing"
+
+	"topobarrier/internal/sched"
+)
+
+// TestPlanFromOpsRoundTrip: a plan rebuilt from RankOps output is
+// operationally identical to the compiled original.
+func TestPlanFromOpsRoundTrip(t *testing.T) {
+	orig, err := NewPlan(sched.Tree(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([][]StageOps, orig.P)
+	for r := 0; r < orig.P; r++ {
+		ops[r] = orig.RankOps(r)
+	}
+	back, err := PlanFromOps(orig.Name, orig.P, orig.Stages, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < orig.P; r++ {
+		if !reflect.DeepEqual(orig.RankOps(r), back.RankOps(r)) {
+			t.Fatalf("rank %d ops differ after round trip", r)
+		}
+	}
+}
+
+// TestPlanFromOpsRejectsStructure: out-of-range ranks and stages are the
+// only things PlanFromOps polices — protocol correctness is CheckPlan's job.
+func TestPlanFromOpsRejectsStructure(t *testing.T) {
+	cases := []struct {
+		name  string
+		p, st int
+		ops   [][]StageOps
+	}{
+		{"rank-count-mismatch", 2, 1, [][]StageOps{{}}},
+		{"peer-out-of-range", 2, 1, [][]StageOps{{{Stage: 0, Sends: []int{5}}}, {}}},
+		{"stage-out-of-range", 2, 1, [][]StageOps{{{Stage: 3}}, {}}},
+		{"zero-ranks", 0, 1, nil},
+	}
+	for _, c := range cases {
+		if _, err := PlanFromOps(c.name, c.p, c.st, c.ops); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// But an unmatched send is structurally fine here.
+	if _, err := PlanFromOps("orphan", 2, 1, [][]StageOps{{{Stage: 0, Sends: []int{1}}}, {}}); err != nil {
+		t.Errorf("protocol-broken but structurally valid plan rejected: %v", err)
+	}
+}
+
+// TestPlanSilenced: the silenced rank keeps its receives, loses its sends,
+// everyone else is untouched — and the original plan is not mutated.
+func TestPlanSilenced(t *testing.T) {
+	pl, err := NewPlan(sched.Dissemination(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origOps0 := pl.RankOps(0)
+	sil := pl.Silenced(0)
+	for _, op := range sil.RankOps(0) {
+		if len(op.Sends) != 0 {
+			t.Fatalf("silenced rank still sends in stage %d", op.Stage)
+		}
+		if len(op.Recvs) == 0 {
+			t.Fatalf("silenced rank lost its receives in stage %d", op.Stage)
+		}
+	}
+	for r := 1; r < pl.P; r++ {
+		if !reflect.DeepEqual(pl.RankOps(r), sil.RankOps(r)) {
+			t.Fatalf("rank %d ops changed by silencing rank 0", r)
+		}
+	}
+	if !reflect.DeepEqual(pl.RankOps(0), origOps0) {
+		t.Fatal("Silenced mutated the original plan")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	pl.Silenced(99)
+}

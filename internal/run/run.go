@@ -268,6 +268,75 @@ type StageOps struct {
 	Recvs, Sends []int
 }
 
+// PlanFromOps assembles a plan directly from per-rank stage lists, bypassing
+// schedule compilation. Unlike NewPlan it does not prove Eq. 3 first — that
+// is the point: it exists so the plan-level protocol checker
+// (analyze.CheckPlan) can be exercised against deliberately broken plans,
+// and so tests can perform plan surgery. Only structural sanity is enforced
+// (rank and stage indices in range); protocol correctness is the checker's
+// job.
+func PlanFromOps(name string, p, stages int, ops [][]StageOps) (*Plan, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("run: plan over %d ranks", p)
+	}
+	if stages < 0 {
+		return nil, fmt.Errorf("run: plan with %d stages", stages)
+	}
+	if len(ops) != p {
+		return nil, fmt.Errorf("run: %d op lists for %d ranks", len(ops), p)
+	}
+	pl := &Plan{Name: name, P: p, Stages: stages, ops: make([][]rankStage, p)}
+	for r, list := range ops {
+		for _, op := range list {
+			if op.Stage < 0 || op.Stage >= stages {
+				return nil, fmt.Errorf("run: rank %d op in stage %d of %d-stage plan", r, op.Stage, stages)
+			}
+			for _, peer := range append(append([]int(nil), op.Recvs...), op.Sends...) {
+				if peer < 0 || peer >= p {
+					return nil, fmt.Errorf("run: rank %d references peer %d of %d-rank plan", r, peer, p)
+				}
+			}
+			pl.ops[r] = append(pl.ops[r], rankStage{
+				stage: op.Stage,
+				recvs: append([]int(nil), op.Recvs...),
+				sends: append([]int(nil), op.Sends...),
+			})
+		}
+	}
+	return pl, nil
+}
+
+// Silenced returns a copy of the plan in which the listed ranks keep all
+// their receives but perform none of their sends — the executable form of
+// the resilience certifier's fault model (a rank whose messages are all
+// lost). Running a silenced plan on a transport without failure detection
+// reproduces exactly the hang the certifier's counterexample predicts.
+// Other ranks' op lists are unchanged: they still wait for the silenced
+// ranks' messages.
+func (pl *Plan) Silenced(ranks ...int) *Plan {
+	silent := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= pl.P {
+			panic(fmt.Sprintf("run: silencing rank %d of %d-rank plan", r, pl.P))
+		}
+		silent[r] = true
+	}
+	out := &Plan{Name: pl.Name, P: pl.P, Stages: pl.Stages, ops: make([][]rankStage, pl.P)}
+	for r := range pl.ops {
+		for _, op := range pl.ops[r] {
+			ns := rankStage{stage: op.stage, recvs: append([]int(nil), op.recvs...)}
+			if !silent[r] {
+				ns.sends = append([]int(nil), op.sends...)
+			}
+			if len(ns.recvs) == 0 && len(ns.sends) == 0 {
+				continue
+			}
+			out.ops[r] = append(out.ops[r], ns)
+		}
+	}
+	return out
+}
+
 // RankOps returns the per-stage operation list of one rank — the data a
 // transport backend (for example the TCP mesh in internal/netmpi) needs to
 // execute the plan outside the simulator.

@@ -161,6 +161,46 @@ func KAryTree(p, k int) *Schedule {
 	return full
 }
 
+// SymmetricDissemination returns the pairwise (bidirectional) dissemination
+// barrier: in stage s every rank i signals both (i + 2^s) mod p and
+// (i - 2^s) mod p. Where plain dissemination carries each knowledge pair
+// along exactly one chain (the binary decomposition of j - i, so silencing
+// any interior relay stalls the pair), the signed-digit variant gives every
+// pair either a direct signal or two internally rank-disjoint chains — the
+// redundancy that makes it certify as 1-fault-resilient (analyze.CertifyK)
+// where every classic component produces a counterexample. It costs one
+// extra signal per rank per stage over Dissemination and, like it, needs no
+// departure phase.
+func SymmetricDissemination(p int) *Schedule {
+	s := New(fmt.Sprintf("symmetric-dissemination(%d)", p), p)
+	for e := 0; e < ceilLog2(p); e++ {
+		m := mat.NewBool(p)
+		step := 1 << uint(e)
+		for i := 0; i < p; i++ {
+			m.Set(i, (i+step)%p, true)
+			m.Set(i, ((i-step)%p+p)%p, true)
+		}
+		s.AddStage(m)
+	}
+	return s
+}
+
+// Repeat concatenates n copies of the schedule. Repetition multiplies
+// knowledge chains: a doubled dissemination certifies as 2-fault-resilient
+// because the second pass re-propagates everything the first pass spread
+// around the silenced ranks. The fault-budget/latency trade-off is the
+// caller's.
+func Repeat(s *Schedule, n int) *Schedule {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: repeat ×%d", n))
+	}
+	out := New(fmt.Sprintf("%s×%d", s.Name, n), s.P)
+	for r := 0; r < n; r++ {
+		out.Concat(s)
+	}
+	return out
+}
+
 // Builder generates the component phases of one barrier algorithm for the
 // adaptive composer (§VII.B). A component is built over n local members with
 // member 0 acting as the group root.
@@ -246,6 +286,23 @@ func (b KAryBuilder) Arrival(n int) *Schedule { return KAryTreeArrival(n, b.K) }
 
 // NeedsDeparture implements Builder.
 func (KAryBuilder) NeedsDeparture() bool { return true }
+
+// SymmetricDisseminationBuilder selects the fault-redundant pairwise
+// dissemination component. Like DisseminationBuilder its arrival leaves
+// every member fully informed; unlike it, the result survives any single
+// member going silent. It is not part of ExtendedBuilders (which would
+// change existing tuning results): callers wanting fault-tolerant
+// compositions opt in explicitly.
+type SymmetricDisseminationBuilder struct{}
+
+// Name implements Builder.
+func (SymmetricDisseminationBuilder) Name() string { return "symmetric-dissemination" }
+
+// Arrival implements Builder.
+func (SymmetricDisseminationBuilder) Arrival(n int) *Schedule { return SymmetricDissemination(n) }
+
+// NeedsDeparture implements Builder.
+func (SymmetricDisseminationBuilder) NeedsDeparture() bool { return false }
 
 // PaperBuilders returns the paper's three component algorithms (§V.B).
 func PaperBuilders() []Builder {

@@ -1,0 +1,97 @@
+package sched
+
+import "testing"
+
+// TestSilence: silenced ranks stop sending but keep receiving, the original
+// schedule is untouched, and out-of-range ranks panic.
+func TestSilence(t *testing.T) {
+	s := Dissemination(8)
+	before := s.Clone()
+	q := s.Silence([]int{0, 3})
+	if !s.Equal(before) {
+		t.Fatal("Silence mutated the receiver")
+	}
+	for st := range q.Stages {
+		if len(q.Stages[st].Row(0)) != 0 || len(q.Stages[st].Row(3)) != 0 {
+			t.Fatalf("stage %d still carries sends of a silenced rank", st)
+		}
+	}
+	// Receives to the silenced ranks survive: their columns keep entries.
+	colHits := 0
+	for st := range q.Stages {
+		colHits += len(q.Stages[st].Col(0))
+	}
+	if colHits == 0 {
+		t.Fatal("silencing dropped incoming signals too")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	s.Silence([]int{8})
+}
+
+// TestSymmetricDissemination: same stage count as dissemination, needs no
+// departure phase (every rank ends fully informed), and twice the signals
+// except where +2^s and -2^s coincide.
+func TestSymmetricDissemination(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8, 13, 16} {
+		s := SymmetricDissemination(p)
+		if !s.IsBarrier() {
+			t.Errorf("p=%d: not a barrier", p)
+		}
+		if got, want := s.NumStages(), Dissemination(p).NumStages(); got != want {
+			t.Errorf("p=%d: %d stages, want %d", p, got, want)
+		}
+		// Every rank fully informed: per-rank broadcast property.
+		for r := 0; r < p; r++ {
+			if !s.IsBroadcast(r) {
+				t.Errorf("p=%d: rank %d's arrival does not reach everyone", p, r)
+			}
+		}
+	}
+}
+
+// TestRepeat: n copies concatenate stage-for-stage; n < 1 panics.
+func TestRepeat(t *testing.T) {
+	base := Dissemination(8)
+	d := Repeat(base, 2)
+	if d.NumStages() != 2*base.NumStages() {
+		t.Fatalf("repeat ×2: %d stages, want %d", d.NumStages(), 2*base.NumStages())
+	}
+	for i := 0; i < base.NumStages(); i++ {
+		if !d.Stages[i].Equal(base.Stages[i]) || !d.Stages[i+base.NumStages()].Equal(base.Stages[i]) {
+			t.Fatalf("stage %d of the repeat differs from the base", i)
+		}
+	}
+	if !d.IsBarrier() {
+		t.Fatal("repeated barrier lost Eq. 3")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Repeat(s, 0) did not panic")
+		}
+	}()
+	Repeat(base, 0)
+}
+
+// TestSymmetricDisseminationBuilder: the builder contract — root-0
+// convention irrelevant here since every member ends informed.
+func TestSymmetricDisseminationBuilder(t *testing.T) {
+	var b Builder = SymmetricDisseminationBuilder{}
+	if b.NeedsDeparture() {
+		t.Error("symmetric dissemination leaves everyone informed; no departure needed")
+	}
+	arr := b.Arrival(8)
+	if !arr.IsBarrier() {
+		t.Error("builder arrival is not a barrier")
+	}
+	// Deliberately not in the default extended set: adding it would change
+	// existing tuning results.
+	for _, reg := range ExtendedBuilders() {
+		if reg.Name() == b.Name() {
+			t.Error("SymmetricDisseminationBuilder must stay opt-in, not in ExtendedBuilders")
+		}
+	}
+}

@@ -200,6 +200,26 @@ func (s *Schedule) DropEmptyStages() *Schedule {
 	return out
 }
 
+// Silence returns a copy of the schedule with every send of the given ranks
+// removed (their stage-matrix rows zeroed). This is the k-fault model of the
+// resilience certifier made executable: a silenced rank still receives — and
+// still appears in other ranks' send lists — but contributes nothing to
+// knowledge propagation. Ranks out of range panic.
+func (s *Schedule) Silence(ranks []int) *Schedule {
+	out := s.Clone()
+	for _, r := range ranks {
+		if r < 0 || r >= s.P {
+			panic(fmt.Sprintf("sched: silencing rank %d of %d-rank schedule", r, s.P))
+		}
+		for _, st := range out.Stages {
+			for _, j := range st.Row(r) {
+				st.Set(r, j, false)
+			}
+		}
+	}
+	return out
+}
+
 // Equal reports whether two schedules have identical rank count and stage
 // matrices (names are ignored).
 func (s *Schedule) Equal(o *Schedule) bool {
