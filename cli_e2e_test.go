@@ -243,6 +243,38 @@ func TestCLIRunBarrierNetExitCode(t *testing.T) {
 	}
 }
 
+// TestCLIRunBarrierHybrid drives runbarrier over the hybrid shm+TCP mesh
+// through its public flag surface, and pins the flag-validation error paths:
+// -transport/-colocate require -net, and -colocate requires -transport hybrid.
+func TestCLIRunBarrierHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the runbarrier command over a hybrid mesh")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	out, code := runCmdExit(t, "./cmd/runbarrier", "-net", "-p", "4", "-alg", "dissemination",
+		"-iters", "3", "-warmup", "1", "-transport", "hybrid", "-colocate", "nodes=2")
+	if code != 0 {
+		t.Fatalf("healthy hybrid run exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "hybrid shm+TCP mesh") {
+		t.Fatalf("hybrid run output does not name the mesh:\n%s", out)
+	}
+
+	out, code = runCmdExit(t, "./cmd/runbarrier", "-p", "4", "-alg", "dissemination",
+		"-transport", "hybrid")
+	if code == 0 || !strings.Contains(out, "require -net") {
+		t.Fatalf("-transport without -net accepted (exit %d):\n%s", code, out)
+	}
+
+	out, code = runCmdExit(t, "./cmd/runbarrier", "-net", "-p", "4", "-alg", "dissemination",
+		"-iters", "1", "-colocate", "nodes=2")
+	if code == 0 || !strings.Contains(out, "-transport hybrid") {
+		t.Fatalf("-colocate without hybrid accepted (exit %d):\n%s", code, out)
+	}
+}
+
 // TestCLITraceBarrierNetDrift drives the predicted-vs-observed drift report
 // over a real loopback mesh and checks the Chrome trace artifact parses and
 // carries per-stage spans.
@@ -277,7 +309,7 @@ func TestCLITraceBarrierNetDrift(t *testing.T) {
 	}
 	stageSpans := 0
 	for _, e := range doc.TraceEvents {
-		if e.Name == "barrier.stage" && e.Ph == "X" {
+		if strings.HasPrefix(e.Name, "barrier.stage:") && e.Ph == "X" {
 			stageSpans++
 		}
 	}

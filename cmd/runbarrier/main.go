@@ -10,7 +10,10 @@
 // bounded by -net-deadline, and any rank failure is reported per rank
 // instead of hanging the job. -net-fault injects a deterministic transport
 // fault (drop/delay/truncate/sever) on one rank's accepted links to
-// demonstrate the fail-fast behaviour.
+// demonstrate the fail-fast behaviour. -transport hybrid upgrades every
+// link between co-located ranks to an in-process shared-memory ring
+// (co-location from -colocate, or derived from -cluster/-placement);
+// cross-node links stay TCP and failure semantics are identical on both.
 //
 // Usage:
 //
@@ -19,6 +22,7 @@
 //	           [-iters N] [-warmup N] [-seed N] [-congestion] [-novalidate]
 //	           [-net] [-net-deadline D] [-net-dial-timeout D]
 //	           [-net-fault op:rank:frame[:arg]]
+//	           [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
 //	           [-telemetry addr] [-trace-out file.json]
 //
 // -telemetry serves the run's metrics registry (Prometheus text at /metrics,
@@ -63,10 +67,12 @@ func main() {
 		congestion = flag.Bool("congestion", false, "enable NIC serialisation")
 		novalidate = flag.Bool("novalidate", false, "skip the delay-injection synchronization check")
 
-		netRun   = flag.Bool("net", false, "execute over a real loopback TCP mesh (goroutine ranks) instead of the simulator")
-		netDead  = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
-		netDial  = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
-		netFault = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
+		netRun    = flag.Bool("net", false, "execute over a real loopback TCP mesh (goroutine ranks) instead of the simulator")
+		netDead   = flag.Duration("net-deadline", 2*time.Second, "per-receive deadline on the TCP mesh; a rank exceeding it fails the barrier")
+		netDial   = flag.Duration("net-dial-timeout", 5*time.Second, "TCP mesh formation budget (dials retry with exponential backoff)")
+		netFault  = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
+		transport = flag.String("transport", "tcp", "with -net, mesh transport: tcp, or hybrid (shared-memory rings between co-located ranks)")
+		colocate  = flag.String("colocate", "", "with -transport hybrid, co-location spec: \"nodes=K\" or rank groups \"0-3,4-7\"; default derives from -cluster/-placement")
 
 		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered")
 		traceOut      = flag.String("trace-out", "", "with -net, write the measured barriers as Chrome trace-event JSON")
@@ -89,13 +95,20 @@ func main() {
 	}
 
 	if *netRun {
-		if err := runNet(name, s, *p, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut); err != nil {
+		nodes, err := colocationNodes(*transport, *colocate, *cluster, *placement, *p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runNet(name, s, *p, nodes, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *traceOut != "" {
 		fatal(fmt.Errorf("-trace-out records a real transport execution; it requires -net"))
+	}
+	if *transport != "tcp" || *colocate != "" {
+		fatal(fmt.Errorf("-transport/-colocate select the live mesh transport; they require -net"))
 	}
 
 	var spec topo.Spec
@@ -191,10 +204,52 @@ func resolve(alg string, p int) (string, run.Func, *sched.Schedule, error) {
 	return "", nil, nil, fmt.Errorf("unknown algorithm %q", alg)
 }
 
-// runNet executes the barrier over a real loopback TCP mesh with per-rank
+// colocationNodes resolves the -transport/-colocate flags into a co-location
+// vector: nil for a pure-TCP mesh, a node-id vector for hybrid. With hybrid
+// and no explicit -colocate, the vector is derived from the named cluster
+// topology and placement — the ranks the simulator would put on one node
+// share shared memory on the live mesh too.
+func colocationNodes(transport, colocate, cluster, placement string, p int) ([]int, error) {
+	switch transport {
+	case "tcp":
+		if colocate != "" {
+			return nil, fmt.Errorf("-colocate needs -transport hybrid")
+		}
+		return nil, nil
+	case "hybrid":
+	default:
+		return nil, fmt.Errorf("unknown transport %q: want tcp or hybrid", transport)
+	}
+	if colocate != "" {
+		return netmpi.ParseColocation(colocate, p)
+	}
+	var spec topo.Spec
+	switch cluster {
+	case "quad":
+		spec = topo.QuadCluster()
+	case "hex":
+		spec = topo.HexCluster()
+	default:
+		return nil, fmt.Errorf("unknown cluster %q", cluster)
+	}
+	var pl topo.Placement
+	switch placement {
+	case "round-robin":
+		pl = topo.RoundRobin{}
+	case "block":
+		pl = topo.Block{}
+	default:
+		return nil, fmt.Errorf("unknown placement %q", placement)
+	}
+	return netmpi.NodesFromPlacement(spec, pl, p)
+}
+
+// runNet executes the barrier over a real loopback mesh with per-rank
 // failure reporting: every rank either reports its mean barrier time or the
-// transport error that stopped it within its deadline.
-func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string) error {
+// transport error that stopped it within its deadline. A non-nil nodes
+// vector routes co-located links over shared-memory rings; fault injection
+// applies to the TCP links only (the faultnet injectors wrap net.Conn).
+func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string) error {
 	if s == nil {
 		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
 	}
@@ -224,6 +279,11 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 	if traceOut != "" {
 		tracer = telemetry.NewTracer()
 		dialOpts = append(dialOpts, netmpi.WithTracer(tracer))
+	}
+	meshName := "loopback TCP"
+	if nodes != nil {
+		dialOpts = append(dialOpts, netmpi.WithColocation(netmpi.NewShmHub(), nodes))
+		meshName = "hybrid shm+TCP"
 	}
 
 	listeners := make([]net.Listener, p)
@@ -294,8 +354,8 @@ func runNet(name string, s *sched.Schedule, p, warmup, iters int, deadline, dial
 			max = d
 		}
 	}
-	fmt.Printf("%s over loopback TCP mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
-		name, p, max, iters, warmup, deadline)
+	fmt.Printf("%s over %s mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
+		name, meshName, p, max, iters, warmup, deadline)
 	if tracer != nil {
 		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
 			return err

@@ -20,18 +20,23 @@
 //	             [-iters N] [-warmup N] [-probe-iters N] [-workers N]
 //	             [-adaptive K] [-profile-cache DIR] [-drift-tol F] [-ranks]
 //	             [-net-deadline D] [-net-dial-timeout D] [-trace-out file.json]
+//	             [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
 //
 // Profiling runs as edge-colored parallel rounds (⌊P/2⌋ disjoint pairs per
 // round, -workers bounds the overlap), stops each pair adaptively once its
 // minimum RTT is stable for -adaptive samples, and with -profile-cache reuses
 // a fingerprinted profile from a previous run, re-validating a sampled
-// subset of links against -drift-tol before trusting it.
+// subset of links against -drift-tol before trusting it. -transport hybrid
+// forms the mesh with shared-memory rings between co-located ranks (from
+// -colocate, or derived from -cluster/-placement), so the probed profile
+// and the drift table show the real intra/inter-node class gap.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"topobarrier/internal/baseline"
@@ -70,15 +75,21 @@ func main() {
 		netDead    = flag.Duration("net-deadline", 5*time.Second, "per-receive deadline on the mesh (-net)")
 		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "mesh formation budget (-net)")
 		traceOut   = flag.String("trace-out", "", "write the final traced execution as Chrome trace-event JSON (-net)")
+		transport  = flag.String("transport", "tcp", "mesh transport: tcp, or hybrid (shared-memory rings between co-located ranks) (-net)")
+		colocate   = flag.String("colocate", "", "co-location spec for -transport hybrid: \"nodes=K\" or rank groups \"0-3,4-7\"; default derives from -cluster/-placement (-net)")
 	)
 	flag.Parse()
 
 	if *netRun {
+		nodes, err := colocationNodes(*transport, *colocate, *cluster, *placement, *p)
+		if err != nil {
+			fatal(err)
+		}
 		popts := probeCLIOptions{
 			iters: *probeIters, workers: *workers, adaptive: *adaptive,
 			cacheDir: *cacheDir, driftTol: *driftTol,
 		}
-		if err := runNetDrift(*alg, *p, *iters, *warmup, popts, *perRank, *netDead, *netDial, *traceOut); err != nil {
+		if err := runNetDrift(*alg, *p, nodes, *iters, *warmup, popts, *perRank, *netDead, *netDial, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -169,19 +180,77 @@ type probeCLIOptions struct {
 	driftTol                 float64
 }
 
+// meshBanner describes the formed mesh: link counts per transport and, for a
+// hybrid mesh, its transport signature.
+func meshBanner(peers []*netmpi.Peer, p int, nodes []int) string {
+	if nodes == nil {
+		return fmt.Sprintf("loopback TCP mesh up: %d ranks, %d connections", p, p*(p-1)/2)
+	}
+	shm := 0
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if peers[i].TransportOf(j) == netmpi.TransportShm {
+				shm++
+			}
+		}
+	}
+	return fmt.Sprintf("hybrid mesh up: %d ranks, %d shm links + %d tcp connections (%s)",
+		p, shm, p*(p-1)/2-shm, peers[0].TransportSignature())
+}
+
+// colocationNodes resolves the -transport/-colocate flags into a co-location
+// vector: nil for a pure-TCP mesh, a node-id vector for hybrid. With hybrid
+// and no explicit -colocate, the vector is derived from the named cluster
+// topology and placement — the ranks the simulator would put on one node
+// share shared memory on the live mesh too.
+func colocationNodes(transport, colocate, cluster, placement string, p int) ([]int, error) {
+	switch transport {
+	case "tcp":
+		if colocate != "" {
+			return nil, fmt.Errorf("-colocate needs -transport hybrid")
+		}
+		return nil, nil
+	case "hybrid":
+	default:
+		return nil, fmt.Errorf("unknown transport %q: want tcp or hybrid", transport)
+	}
+	if colocate != "" {
+		return netmpi.ParseColocation(colocate, p)
+	}
+	var spec topo.Spec
+	switch cluster {
+	case "quad":
+		spec = topo.QuadCluster()
+	case "hex":
+		spec = topo.HexCluster()
+	default:
+		return nil, fmt.Errorf("unknown cluster %q", cluster)
+	}
+	var pl topo.Placement
+	switch placement {
+	case "round-robin":
+		pl = topo.RoundRobin{}
+	case "block":
+		pl = topo.Block{}
+	default:
+		return nil, fmt.Errorf("unknown placement %q", placement)
+	}
+	return netmpi.NodesFromPlacement(spec, pl, p)
+}
+
 // runNetDrift is the real-transport §VI validation: probe → predict →
 // execute traced → compare, all against one live loopback mesh.
-func runNetDrift(alg string, p, iters, warmup int, popts probeCLIOptions, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
+func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeCLIOptions, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
 	if iters <= 0 || warmup < 0 {
 		return fmt.Errorf("need positive -iters and non-negative -warmup")
 	}
 	tracer := telemetry.NewTracer()
-	peers, err := netmpi.LoopbackMesh(p, dialTimeout, netmpi.WithTracer(tracer))
+	peers, err := netmpi.HybridMesh(p, nodes, dialTimeout, netmpi.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
 	defer netmpi.CloseMesh(peers)
-	fmt.Printf("loopback TCP mesh up: %d ranks, %d connections\n", p, p*(p-1)/2)
+	fmt.Printf("%s\n", meshBanner(peers, p, nodes))
 
 	// Measure: the paper's O/L profile, probed over the live links in
 	// parallel rounds (or served from the fingerprinted cache).
@@ -200,10 +269,10 @@ func runNetDrift(alg string, p, iters, warmup int, popts probeCLIOptions, perRan
 		}
 		if hit {
 			fmt.Printf("profile cache hit (%s) in %s\n",
-				netmpi.ProbeFingerprint(p, probeOpts), popts.cacheDir)
+				netmpi.MeshFingerprint(peers, probeOpts), popts.cacheDir)
 		} else {
 			fmt.Printf("profile cache miss; stored %s in %s\n",
-				netmpi.ProbeFingerprint(p, probeOpts), popts.cacheDir)
+				netmpi.MeshFingerprint(peers, probeOpts), popts.cacheDir)
 		}
 	} else {
 		pf, rep, err = netmpi.ProbeProfileOpts(peers, probeOpts)
@@ -302,7 +371,7 @@ func runNetDrift(alg string, p, iters, warmup int, popts probeCLIOptions, perRan
 		// traced one's. The traced span is the later of the two.
 		traced := make(map[[2]int]telemetry.SpanEvent)
 		for _, e := range tracer.Events() {
-			if e.Name != "barrier.stage" || e.Stage >= stages || e.Rank >= p {
+			if !strings.HasPrefix(e.Name, "barrier.stage:") || e.Stage >= stages || e.Rank >= p {
 				continue
 			}
 			key := [2]int{e.Rank, e.Stage}

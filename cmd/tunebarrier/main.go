@@ -20,6 +20,12 @@
 // written by profilecluster or tracebarrier -net) instead of a profile file:
 // the newest entry is used, or the newest whose fingerprint starts with
 // -fingerprint.
+//
+// -probe-net P skips stored profiles entirely: it forms a live P-rank
+// loopback mesh, probes the O/L matrices over it, and tunes against the
+// measurement. -transport hybrid with -colocate routes co-located links over
+// shared-memory rings, so the probed profile carries the intra- vs
+// cross-node cost gap and the SSS clustering can exploit it.
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"topobarrier/internal/core"
+	"topobarrier/internal/netmpi"
 	"topobarrier/internal/profile"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/sss"
@@ -51,11 +59,22 @@ func main() {
 
 		cacheDir = flag.String("profile-cache", "", "tune from a fingerprinted profile cache instead of -profile")
 		fpPrefix = flag.String("fingerprint", "", "with -profile-cache: fingerprint prefix selecting the entry (default: newest)")
+
+		probeNet   = flag.Int("probe-net", 0, "probe a live P-rank loopback mesh and tune against the measured profile instead of -profile")
+		transport  = flag.String("transport", "tcp", "with -probe-net, mesh transport: tcp, or hybrid (shared-memory rings between co-located ranks)")
+		colocate   = flag.String("colocate", "", "with -transport hybrid, co-location spec: \"nodes=K\" or rank groups \"0-3,4-7\"")
+		probeIters = flag.Int("probe-iters", 8, "with -probe-net, max ping-pongs per ordered rank pair")
 	)
 	flag.Parse()
 
 	var pf *profile.Profile
-	if *cacheDir != "" {
+	if *probeNet > 0 {
+		npf, err := probeLiveProfile(*probeNet, *transport, *colocate, *probeIters)
+		if err != nil {
+			fatal(err)
+		}
+		pf = npf
+	} else if *cacheDir != "" {
 		cache := &profile.Cache{Dir: *cacheDir}
 		cpf, fp, ok, err := cache.LoadLatest(*fpPrefix)
 		if err != nil {
@@ -127,6 +146,41 @@ func main() {
 		}
 		fmt.Printf("wrote pipeline trace to %s\n", *traceOut)
 	}
+}
+
+// probeLiveProfile forms a live mesh, measures the O/L profile over it, and
+// tears the mesh down — tuning then proceeds from a measurement of the very
+// transport the schedule will run on.
+func probeLiveProfile(p int, transport, colocate string, probeIters int) (*profile.Profile, error) {
+	var nodes []int
+	switch transport {
+	case "tcp":
+		if colocate != "" {
+			return nil, fmt.Errorf("-colocate needs -transport hybrid")
+		}
+	case "hybrid":
+		if colocate == "" {
+			return nil, fmt.Errorf("-transport hybrid needs -colocate (e.g. \"nodes=2\" or \"0-3,4-7\")")
+		}
+		var err error
+		if nodes, err = netmpi.ParseColocation(colocate, p); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown transport %q: want tcp or hybrid", transport)
+	}
+	peers, err := netmpi.HybridMesh(p, nodes, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer netmpi.CloseMesh(peers)
+	fmt.Fprintf(os.Stderr, "probing live %s mesh: %d ranks (%s)\n",
+		transport, p, peers[0].TransportSignature())
+	pf, _, err := netmpi.ProbeProfileOpts(peers, netmpi.ProbeOptions{MaxIters: probeIters})
+	if err != nil {
+		return nil, err
+	}
+	return pf, nil
 }
 
 func fatal(err error) {

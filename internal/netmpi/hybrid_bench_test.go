@@ -1,0 +1,116 @@
+package netmpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"topobarrier/internal/run"
+)
+
+// BenchmarkBarrierTransport is the hybrid-vs-TCP latency trajectory: the
+// tuned plan executed end to end over a pure-TCP loopback mesh and over a
+// fully co-located shared-memory mesh, at P=8 and P=16. CI archives the
+// results as BENCH_hybrid.json.
+func BenchmarkBarrierTransport(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		for _, tc := range []struct {
+			name  string
+			nodes []int
+		}{
+			{"tcp", nil},
+			{"hybrid", oneNode(p)},
+		} {
+			b.Run(fmt.Sprintf("p%d-%s", p, tc.name), func(b *testing.B) {
+				pl := tunedPlan(b, p)
+				peers := hybridMesh(b, p, tc.nodes)
+				barrier := func(tagBase int) {
+					var wg sync.WaitGroup
+					for r := 0; r < p; r++ {
+						r := r
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if err := peers[r].Barrier(pl, tagBase, 30*time.Second); err != nil {
+								b.Error(err)
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				barrier(0) // warmup
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					barrier(((i + 1) % 2) * run.TagSpan)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSendAllocs measures per-send allocations on both transports with
+// a matching receive per operation (so mailboxes stay empty and the numbers
+// are steady-state). The TCP path's frame buffers come from a sync.Pool;
+// the shm path publishes into pre-allocated ring slots.
+func BenchmarkSendAllocs(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		nodes []int
+	}{
+		{"tcp", nil},
+		{"shm", oneNode(2)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			peers := hybridMesh(b, 2, tc.nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := peers[0].Send(1, 5, nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := peers[1].Recv(0, 5, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSendAllocsPooled pins the sync.Pool satellite: a steady-state empty-
+// frame send+receive round (the barrier hot path) must not allocate per
+// operation on either transport. The bound of 1 amortized allocation per
+// round absorbs mailbox slice growth; before pooling, the TCP path alone
+// allocated a fresh frame buffer every send.
+func TestSendAllocsPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates shadow state; allocation counts are meaningless there")
+	}
+	for _, tc := range []struct {
+		name  string
+		nodes []int
+	}{
+		{"tcp", nil},
+		{"shm", oneNode(2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			peers := hybridMesh(t, 2, tc.nodes)
+			round := func() {
+				if err := peers[0].Send(1, 5, nil); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := peers[1].Recv(0, 5, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 100; i++ {
+				round() // warm the pool and the mailbox
+			}
+			avg := testing.AllocsPerRun(500, round)
+			if avg > 1 {
+				t.Fatalf("empty-frame send+recv allocates %.2f objects/op, want ≤ 1", avg)
+			}
+			t.Logf("%s empty-frame send+recv: %.2f allocs/op", tc.name, avg)
+		})
+	}
+}

@@ -57,6 +57,23 @@ func LoopbackMesh(p int, timeout time.Duration, opts ...Option) ([]*Peer, error)
 	return peers, nil
 }
 
+// HybridMesh is LoopbackMesh with a co-location map: links between ranks
+// sharing a node id run over in-process shared-memory rings, everything else
+// over framed TCP. nodes[i] is rank i's node id; a nil nodes forms a plain
+// TCP mesh. One ShmHub is created for the whole mesh, so every co-located
+// pair attaches the same segment.
+func HybridMesh(p int, nodes []int, timeout time.Duration, opts ...Option) ([]*Peer, error) {
+	if nodes == nil {
+		return LoopbackMesh(p, timeout, opts...)
+	}
+	if len(nodes) != p {
+		return nil, fmt.Errorf("netmpi: colocation vector covers %d ranks, mesh has %d", len(nodes), p)
+	}
+	hub := NewShmHub()
+	all := append([]Option{WithColocation(hub, nodes)}, opts...)
+	return LoopbackMesh(p, timeout, all...)
+}
+
 // CloseMesh closes every peer of a mesh.
 func CloseMesh(peers []*Peer) {
 	for _, pe := range peers {

@@ -57,11 +57,24 @@ import (
 	"topobarrier/internal/telemetry"
 )
 
-// Peer is one rank's endpoint in the fully connected mesh.
+// Peer is one rank's endpoint in the fully connected mesh. Each link is
+// carried by exactly one transport: framed TCP (conns[j] non-nil) or the
+// in-process shared-memory rings (shmOut[j]/shmIn[j] non-nil), selected at
+// Dial time from the co-location map (WithColocation). Both transports
+// terminate in the same mailboxes and the same failure latches, so every
+// receive path behaves identically regardless of what carried the frame.
 type Peer struct {
 	rank  int
 	size  int
 	conns []net.Conn
+
+	// Hybrid transport state: nodes is the co-location vector (nil = pure
+	// TCP), hub the segment rendezvous, shmOut[j]/shmIn[j] the per-direction
+	// rings of shared-memory links (nil entries for TCP links).
+	hub    *ShmHub
+	nodes  []int
+	shmOut []*shmRing
+	shmIn  []*shmRing
 
 	mu     sync.Mutex
 	boxes  map[mailKey]*mailbox
@@ -137,10 +150,11 @@ func (p *Peer) initMetrics() {
 			continue
 		}
 		pj := strconv.Itoa(j)
-		p.m.sendFrames[j] = p.reg.Counter(telemetry.Label("netmpi_send_frames_total", "rank", me, "peer", pj))
-		p.m.sendBytes[j] = p.reg.Counter(telemetry.Label("netmpi_send_bytes_total", "rank", me, "peer", pj))
-		p.m.recvFrames[j] = p.reg.Counter(telemetry.Label("netmpi_recv_frames_total", "rank", me, "peer", pj))
-		p.m.recvBytes[j] = p.reg.Counter(telemetry.Label("netmpi_recv_bytes_total", "rank", me, "peer", pj))
+		tc := p.TransportOf(j).String()
+		p.m.sendFrames[j] = p.reg.Counter(telemetry.Label("netmpi_send_frames_total", "rank", me, "peer", pj, "transport", tc))
+		p.m.sendBytes[j] = p.reg.Counter(telemetry.Label("netmpi_send_bytes_total", "rank", me, "peer", pj, "transport", tc))
+		p.m.recvFrames[j] = p.reg.Counter(telemetry.Label("netmpi_recv_frames_total", "rank", me, "peer", pj, "transport", tc))
+		p.m.recvBytes[j] = p.reg.Counter(telemetry.Label("netmpi_recv_bytes_total", "rank", me, "peer", pj, "transport", tc))
 	}
 	p.m.dialRetry = p.reg.Counter(telemetry.Label("netmpi_dial_retries_total", "rank", me))
 	p.m.failures = p.reg.Counter(telemetry.Label("netmpi_failures_total", "rank", me))
@@ -232,6 +246,8 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		rank:     rank,
 		size:     p,
 		conns:    make([]net.Conn, p),
+		shmOut:   make([]*shmRing, p),
+		shmIn:    make([]*shmRing, p),
 		boxes:    map[mailKey]*mailbox{},
 		done:     make(chan struct{}),
 		linkErr:  make([]error, p),
@@ -245,6 +261,23 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 	}
 	for _, opt := range opts {
 		opt(peer)
+	}
+	// Attach the shared-memory links before any TCP work: co-located links
+	// rendezvous in the hub instead of dialing, so the socket loops below
+	// only cover the cross-node remainder.
+	if peer.nodes != nil {
+		if len(peer.nodes) != p {
+			return nil, fmt.Errorf("netmpi: rank %d: colocation vector covers %d ranks, mesh has %d", rank, len(peer.nodes), p)
+		}
+		if peer.hub == nil {
+			return nil, fmt.Errorf("netmpi: rank %d: colocation without a shared ShmHub", rank)
+		}
+		for j := 0; j < p; j++ {
+			if j != rank && peer.TransportOf(j) == TransportShm {
+				seg := peer.hub.segment(rank, j)
+				peer.shmOut[j], peer.shmIn[j] = seg.rings(rank, j)
+			}
+		}
 	}
 	peer.initMetrics()
 	dialSpan := peer.tracer.Begin("netmpi.dial", rank, -1, -1)
@@ -262,10 +295,14 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		mu.Unlock()
 	}
 
-	// Dial lower-numbered ranks; identify ourselves with a 4-byte rank
-	// header. Connection errors are retried with exponential backoff until
-	// the deadline: the peer's listener may simply not be up yet.
+	// Dial lower-numbered ranks over TCP; identify ourselves with a 4-byte
+	// rank header. Shared-memory links were attached above and dial nothing.
+	// Connection errors are retried with exponential backoff until the
+	// deadline: the peer's listener may simply not be up yet.
 	for j := 0; j < rank; j++ {
+		if peer.shmOut[j] != nil {
+			continue
+		}
 		j := j
 		wg.Add(1)
 		go func() {
@@ -306,8 +343,13 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		}()
 	}
 
-	// Accept higher-numbered ranks.
-	accepts := p - 1 - rank
+	// Accept higher-numbered TCP ranks (co-located ones never dial).
+	accepts := 0
+	for j := rank + 1; j < p; j++ {
+		if peer.shmOut[j] == nil {
+			accepts++
+		}
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -332,6 +374,11 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 				conn.Close()
 				return
 			}
+			if peer.shmOut[src] != nil {
+				fail(fmt.Errorf("netmpi: rank %d got a TCP handshake from co-located rank %d (transport maps disagree)", rank, src))
+				conn.Close()
+				return
+			}
 			mu.Lock()
 			if old := peer.conns[src]; old != nil {
 				mu.Unlock()
@@ -350,13 +397,21 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		return nil, firstErr
 	}
 
-	// Start the demultiplexing readers.
+	// Start the demultiplexing readers: one per TCP connection, one drainer
+	// per incoming shared-memory ring. Both feed the same mailboxes.
 	for j, conn := range peer.conns {
 		if conn == nil {
 			continue
 		}
 		peer.wg.Add(1)
 		go peer.reader(j, conn)
+	}
+	for j, ring := range peer.shmIn {
+		if ring == nil {
+			continue
+		}
+		peer.wg.Add(1)
+		go peer.readerShm(j, ring)
 	}
 	return peer, nil
 }
@@ -395,18 +450,21 @@ func (p *Peer) reader(src int, conn net.Conn) {
 }
 
 // fail latches the first transport error and closes done so every blocked
-// Recv wakes immediately. A remote close (EOF) counts as a failure: only a
-// locally initiated Close is orderly, anything else means a participant is
-// gone and the collective cannot complete.
+// Recv wakes immediately. A remote close — EOF on a socket, a closed ring on
+// shared memory — counts as a failure: only a locally initiated Close is
+// orderly, anything else means a participant is gone and the collective
+// cannot complete. The latched description names the transport that failed.
 func (p *Peer) fail(src int, err error) {
 	var desc error
 	switch {
+	case errors.Is(err, errShmPeerClosed):
+		desc = fmt.Errorf("netmpi: rank %d: shm link from rank %d closed (peer exited or crashed)", p.rank, src)
 	case errors.Is(err, io.EOF):
-		desc = fmt.Errorf("netmpi: rank %d: connection from rank %d closed (peer exited or crashed)", p.rank, src)
+		desc = fmt.Errorf("netmpi: rank %d: tcp connection from rank %d closed (peer exited or crashed)", p.rank, src)
 	case errors.Is(err, io.ErrUnexpectedEOF):
-		desc = fmt.Errorf("netmpi: rank %d: connection from rank %d severed mid-frame (truncated stream)", p.rank, src)
+		desc = fmt.Errorf("netmpi: rank %d: tcp connection from rank %d severed mid-frame (truncated stream)", p.rank, src)
 	default:
-		desc = fmt.Errorf("netmpi: rank %d on link to rank %d: %w", p.rank, src, err)
+		desc = fmt.Errorf("netmpi: rank %d on %s link to rank %d: %w", p.rank, p.TransportOf(src), src, err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -453,9 +511,11 @@ func (p *Peer) box(src, tag int) *mailbox {
 }
 
 // Send transmits one tagged message to dst. Sends are eager: completion
-// means the frame entered the TCP stream. A failed or closed peer refuses
-// further sends with its latched error, propagating the failure to senders
-// as fast as to receivers.
+// means the frame entered the TCP stream or was published in the shared
+// ring. The caller keeps ownership of payload on both transports (the shm
+// path copies non-empty payloads for that reason). A failed or closed peer
+// refuses further sends with its latched error, propagating the failure to
+// senders as fast as to receivers.
 func (p *Peer) Send(dst, tag int, payload []byte) error {
 	if dst < 0 || dst >= p.size || dst == p.rank {
 		return fmt.Errorf("netmpi: rank %d sending to invalid rank %d", p.rank, dst)
@@ -470,22 +530,70 @@ func (p *Peer) Send(dst, tag int, payload []byte) error {
 		return fmt.Errorf("netmpi: rank %d: send to %d on closed peer", p.rank, dst)
 	}
 	if err := p.writeFrame(dst, tag, payload); err != nil {
-		return fmt.Errorf("netmpi: rank %d sending to %d: %w", p.rank, dst, err)
+		return fmt.Errorf("netmpi: rank %d sending to %d over %s: %w", p.rank, dst, p.TransportOf(dst), err)
 	}
 	return nil
 }
 
-// writeFrame encodes and writes one frame, updating the send metrics.
+// framePool recycles TCP frame buffers: barrier traffic sends a steady
+// stream of small frames, and allocating each one was measurable on the hot
+// path. Buffers grow to the largest payload they ever carried and are reused
+// at that size. Pointer-to-slice so Put does not allocate a box.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// writeFrame hands one message to dst's transport, updating the send
+// metrics. The shared-memory path publishes into the lock-free ring (copying
+// non-empty payloads so the caller keeps ownership, matching TCP's copy into
+// the frame); the TCP path encodes a pooled length-prefixed frame and writes
+// it in one call.
 func (p *Peer) writeFrame(dst, tag int, payload []byte) error {
-	frame := make([]byte, headerBytes+len(payload))
+	if ring := p.shmOut[dst]; ring != nil {
+		if len(payload) > 0 {
+			payload = append([]byte(nil), payload...)
+		}
+		if err := ring.push(tag, payload, p, dst); err != nil {
+			return err
+		}
+		p.m.sendFrames[dst].Add(1)
+		p.m.sendBytes[dst].Add(int64(len(payload)))
+		return nil
+	}
+	bp := framePool.Get().(*[]byte)
+	need := headerBytes + len(payload)
+	frame := *bp
+	if cap(frame) < need {
+		frame = make([]byte, need)
+	}
+	frame = frame[:need]
 	binary.BigEndian.PutUint32(frame[:4], uint32(int32(tag)))
 	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
 	copy(frame[headerBytes:], payload)
-	if _, err := p.conns[dst].Write(frame); err != nil {
+	_, err := p.conns[dst].Write(frame)
+	*bp = frame[:0]
+	framePool.Put(bp)
+	if err != nil {
 		return err
 	}
 	p.m.sendFrames[dst].Add(1)
 	p.m.sendBytes[dst].Add(int64(len(payload)))
+	return nil
+}
+
+// pushAbort is consulted by a spinning shm push (full ring): it converts a
+// latched link or peer failure — or a local close — into an error so the
+// producer never spins on a consumer that will not come back.
+func (p *Peer) pushAbort(dst int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.linkErr[dst] != nil {
+		return p.linkErr[dst]
+	}
+	if p.errVal != nil {
+		return p.errVal
+	}
+	if p.closed {
+		return fmt.Errorf("netmpi: rank %d: send to %d on closed peer", p.rank, dst)
+	}
 	return nil
 }
 
@@ -581,8 +689,49 @@ func (p *Peer) Close() error {
 			c.Close()
 		}
 	}
+	if !already {
+		// Closing the outgoing rings is the shm transport's FIN: each
+		// co-located peer's drainer does a final drain, then latches the
+		// same "peer exited" failure a TCP EOF produces.
+		for _, ring := range p.shmOut {
+			if ring != nil {
+				ring.close()
+			}
+		}
+	}
 	p.wg.Wait()
 	return nil
+}
+
+// stageClass names the transport mix of one stage's links for span tagging:
+// "tcp", "shm", or "mixed". On a pure-TCP mesh it is a constant — the common
+// fast path costs one nil check.
+func (p *Peer) stageClass(st run.StageOps) string {
+	if p.nodes == nil {
+		return "tcp"
+	}
+	sawTCP, sawShm := false, false
+	classify := func(r int) {
+		if p.TransportOf(r) == TransportShm {
+			sawShm = true
+		} else {
+			sawTCP = true
+		}
+	}
+	for _, dst := range st.Sends {
+		classify(dst)
+	}
+	for _, src := range st.Recvs {
+		classify(src)
+	}
+	switch {
+	case sawTCP && sawShm:
+		return "mixed"
+	case sawShm:
+		return "shm"
+	default:
+		return "tcp"
+	}
 }
 
 // Barrier executes one compiled barrier plan over the mesh, using tags in
@@ -603,7 +752,10 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 		if p.m.enabled {
 			stageStart = time.Now()
 		}
-		span := p.tracer.Begin("barrier.stage", p.rank, st.Stage, -1)
+		var span telemetry.Span
+		if p.tracer != nil {
+			span = p.tracer.Begin("barrier.stage:"+p.stageClass(st), p.rank, st.Stage, -1)
+		}
 		for _, dst := range st.Sends {
 			if err := p.Send(dst, tag, nil); err != nil {
 				span.End()
@@ -722,7 +874,10 @@ func (p *Peer) BarrierResilient(pl *run.Plan, tagBase int, deadline time.Duratio
 		if p.m.enabled {
 			stageStart = time.Now()
 		}
-		span := p.tracer.Begin("barrier.stage", p.rank, st.Stage, -1)
+		var span telemetry.Span
+		if p.tracer != nil {
+			span = p.tracer.Begin("barrier.stage:"+p.stageClass(st), p.rank, st.Stage, -1)
+		}
 		for _, dst := range st.Sends {
 			skip, err := p.sendResilient(dst, tag, nil)
 			if err != nil {

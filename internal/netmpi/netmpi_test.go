@@ -212,7 +212,7 @@ func TestSendRecvValidation(t *testing.T) {
 
 // tunedPlan builds a simulator-tuned plan without importing the heavy core
 // pipeline here: a hierarchical hybrid shape, verified.
-func tunedPlan(t *testing.T, p int) *run.Plan {
+func tunedPlan(t testing.TB, p int) *run.Plan {
 	t.Helper()
 	// Two groups with linear local phases and a tree across representatives:
 	// structurally identical to composer output.

@@ -182,7 +182,13 @@ func ProbeProfileOpts(peers []*Peer, opts ProbeOptions) (*profile.Profile, *Prob
 		return nil, nil, fmt.Errorf("netmpi: negative probe budget (iters=%d, stableK=%d)", opts.MaxIters, opts.StableK)
 	}
 	p := len(peers)
-	pf := profile.New(fmt.Sprintf("netmpi-loopback(P=%d)", p), p)
+	platform := "netmpi-loopback"
+	if sig := peers[0].TransportSignature(); sig != "tcp" {
+		// A hybrid mesh is a different platform: its O/L matrices carry the
+		// intra-node vs cross-node class gap the pure-TCP mesh cannot show.
+		platform = "netmpi-hybrid"
+	}
+	pf := profile.New(fmt.Sprintf("%s(P=%d)", platform, p), p)
 	rep := newProbeReport(p)
 	start := time.Now()
 	span := opts.Tracer.Begin("probe.profile", -1, -1, -1)
@@ -391,6 +397,26 @@ func ProbeFingerprint(p int, opts ProbeOptions) profile.Fingerprint {
 	return profile.FingerprintOf("netmpi-loopback", strconv.Itoa(p), opts.key())
 }
 
+// MeshFingerprint is the cache key of a probe over a specific live mesh: for
+// a pure-TCP mesh it is exactly ProbeFingerprint (cache entries written
+// before hybrid transports existed stay valid), while a hybrid mesh keys on
+// its transport signature too — a profile measured with rings between
+// co-located ranks must never answer for a pure-TCP mesh or for a different
+// co-location shape, since the entire point is that their cost matrices
+// differ.
+func MeshFingerprint(peers []*Peer, opts ProbeOptions) profile.Fingerprint {
+	opts = opts.withDefaults()
+	p := len(peers)
+	sig := "tcp"
+	if p > 0 {
+		sig = peers[0].TransportSignature()
+	}
+	if sig == "tcp" {
+		return ProbeFingerprint(p, opts)
+	}
+	return profile.FingerprintOf("netmpi-hybrid", strconv.Itoa(p), opts.key(), sig)
+}
+
 // ProbeProfileCached is ProbeProfileOpts behind a fingerprinted profile
 // cache. A miss probes the full mesh and stores the result. A hit returns
 // the saved profile; with driftTol > 0 it first re-validates a sampled
@@ -410,7 +436,7 @@ func ProbeProfileCached(peers []*Peer, opts ProbeOptions, cache *profile.Cache, 
 	}
 	opts = opts.withDefaults()
 	p := len(peers)
-	fp := ProbeFingerprint(p, opts)
+	fp := MeshFingerprint(peers, opts)
 	cached, hit, _ := cache.Load(fp) // a corrupt entry is a miss; Store overwrites it
 	if hit && cached.P != p {
 		hit = false

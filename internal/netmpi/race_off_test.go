@@ -1,0 +1,6 @@
+//go:build !race
+
+package netmpi
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package netmpi
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Timing regressions are skipped under -race: instrumentation multiplies the
+// cost of atomics and channel edges far more than syscalls, so relative
+// transport speeds measured there say nothing about production builds.
+const raceEnabled = true

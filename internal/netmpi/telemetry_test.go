@@ -81,13 +81,16 @@ func TestMeshTelemetryCounters(t *testing.T) {
 	evs := tr.Events()
 	stageSpans, dialSpans := 0, 0
 	for _, e := range evs {
-		switch e.Name {
-		case "barrier.stage":
+		switch {
+		case strings.HasPrefix(e.Name, "barrier.stage:"):
 			stageSpans++
 			if e.Stage < 0 || e.Stage >= pl.Stages || e.Rank < 0 || e.Rank >= p {
 				t.Fatalf("bad stage span %+v", e)
 			}
-		case "netmpi.dial":
+			if e.Name != "barrier.stage:tcp" {
+				t.Fatalf("pure-TCP mesh emitted span %q, want barrier.stage:tcp", e.Name)
+			}
+		case e.Name == "netmpi.dial":
 			dialSpans++
 		}
 	}
