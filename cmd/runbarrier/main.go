@@ -23,6 +23,8 @@
 //	           [-net] [-net-deadline D] [-net-dial-timeout D]
 //	           [-net-fault op:rank:frame[:arg]]
 //	           [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
+//	           [-retune] [-retune-drift F] [-retune-interval D]
+//	           [-retune-budget N]
 //	           [-telemetry addr] [-trace-out file.json]
 //
 // -telemetry serves the run's metrics registry (Prometheus text at /metrics,
@@ -30,6 +32,15 @@
 // with -net the mesh registers per-link frame/byte counters and wait/stage
 // histograms into it. -trace-out (with -net) writes every measured barrier's
 // per-stage spans as Chrome trace-event JSON.
+//
+// -retune (with -net) closes the online tuning loop around the measured run:
+// the mesh is probed before measurement, barriers execute through
+// epoch-versioned runners, and a background controller watches
+// predicted-vs-observed drift (threshold -retune-drift, cadence
+// -retune-interval). When drift crosses the threshold the controller
+// re-probes only the stale links, re-searches from the running schedule
+// (budget -retune-budget), and hot-swaps the winning plan between barrier
+// epochs — demonstrable live with e.g. -net-fault delay:3:100:2ms.
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"topobarrier/internal/faultnet"
 	"topobarrier/internal/mpi"
 	"topobarrier/internal/netmpi"
+	"topobarrier/internal/retune"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/telemetry"
@@ -73,6 +85,11 @@ func main() {
 		netFault  = flag.String("net-fault", "", "inject a transport fault, op:rank:frame[:arg] with op drop|delay|truncate|sever (delay arg: duration, truncate arg: bytes kept); e.g. sever:0:2")
 		transport = flag.String("transport", "tcp", "with -net, mesh transport: tcp, or hybrid (shared-memory rings between co-located ranks)")
 		colocate  = flag.String("colocate", "", "with -transport hybrid, co-location spec: \"nodes=K\" or rank groups \"0-3,4-7\"; default derives from -cluster/-placement")
+
+		retuneRun      = flag.Bool("retune", false, "with -net, run the closed-loop online retuning controller during the measurement")
+		retuneDrift    = flag.Float64("retune-drift", 1.0, "relative predicted-vs-observed drift that triggers a re-probe and re-search")
+		retuneInterval = flag.Duration("retune-interval", 200*time.Millisecond, "cadence of the controller's drift checks")
+		retuneBudget   = flag.Int("retune-budget", 4000, "candidate evaluations of the seeded re-search per trigger")
 
 		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered")
 		traceOut      = flag.String("trace-out", "", "with -net, write the measured barriers as Chrome trace-event JSON")
@@ -99,7 +116,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runNet(name, s, *p, nodes, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut); err != nil {
+		var rc *retuneConfig
+		if *retuneRun {
+			if reg == nil {
+				// The controller observes drift through the mesh's barrier
+				// histograms, so a registry is required even without
+				// -telemetry.
+				reg = telemetry.NewRegistry()
+			}
+			rc = &retuneConfig{drift: *retuneDrift, interval: *retuneInterval, budget: *retuneBudget}
+		}
+		if err := runNet(name, s, *p, nodes, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut, rc); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,6 +136,9 @@ func main() {
 	}
 	if *transport != "tcp" || *colocate != "" {
 		fatal(fmt.Errorf("-transport/-colocate select the live mesh transport; they require -net"))
+	}
+	if *retuneRun {
+		fatal(fmt.Errorf("-retune closes the loop on a live mesh; it requires -net"))
 	}
 
 	var spec topo.Spec
@@ -244,12 +274,21 @@ func colocationNodes(transport, colocate, cluster, placement string, p int) ([]i
 	return netmpi.NodesFromPlacement(spec, pl, p)
 }
 
+// retuneConfig carries the -retune knobs into runNet.
+type retuneConfig struct {
+	drift    float64
+	interval time.Duration
+	budget   int
+}
+
 // runNet executes the barrier over a real loopback mesh with per-rank
 // failure reporting: every rank either reports its mean barrier time or the
 // transport error that stopped it within its deadline. A non-nil nodes
 // vector routes co-located links over shared-memory rings; fault injection
-// applies to the TCP links only (the faultnet injectors wrap net.Conn).
-func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string) error {
+// applies to the TCP links only (the faultnet injectors wrap net.Conn). A
+// non-nil rc runs the measurement through epoch runners with the online
+// retuning controller attached.
+func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string, rc *retuneConfig) error {
 	if s == nil {
 		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
 	}
@@ -325,6 +364,9 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 	if faultSpec != "" {
 		fmt.Fprintf(os.Stderr, "fault injection armed on rank %d's accepted links: %s\n", faultRank, faultSpec)
 	}
+	if rc != nil {
+		return runNetRetuned(name, meshName, s, pl, peers, warmup, iters, deadline, rc, reg, tracer, traceOut)
+	}
 
 	durs := make([]time.Duration, p)
 	rankErrs := make([]error, p)
@@ -356,6 +398,111 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 	}
 	fmt.Printf("%s over %s mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
 		name, meshName, p, max, iters, warmup, deadline)
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", traceOut)
+	}
+	return nil
+}
+
+// runNetRetuned measures the barrier through epoch-versioned runners with
+// the closed-loop controller running alongside: drift checks, targeted
+// re-probes, seeded re-searches, and plan hot-swaps all happen while the
+// measured barriers keep flowing. The reported mean therefore covers the
+// whole story — stale plan, detection, and recovery — and the retune summary
+// line says which of those chapters actually happened.
+func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers []*netmpi.Peer, warmup, iters int, deadline time.Duration, rc *retuneConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, traceOut string) error {
+	p := len(peers)
+	probeOpts := netmpi.ProbeOptions{MaxIters: 6, StableK: 3, Deadline: deadline, Registry: reg, Tracer: tracer}
+	pf, _, err := netmpi.ProbeProfileOpts(peers, probeOpts)
+	if err != nil {
+		return fmt.Errorf("probing the mesh for retuning: %w", err)
+	}
+	eps, err := netmpi.NewEpochs(pl)
+	if err != nil {
+		return err
+	}
+	runners := make([]*netmpi.EpochRunner, p)
+	for i, pe := range peers {
+		if runners[i], err = netmpi.NewEpochRunner(pe, eps, 0); err != nil {
+			return err
+		}
+	}
+	ctl, err := retune.New(peers, eps, s, pf, retune.Options{
+		DriftTol:     rc.drift,
+		Probe:        probeOpts,
+		SearchBudget: rc.budget,
+		Registry:     reg,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		return err
+	}
+	ctl.Start(rc.interval)
+	defer ctl.Stop()
+
+	durs := make([]time.Duration, p)
+	rankErrs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := range peers {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < warmup; n++ {
+				if rankErrs[i] = runners[i].Barrier(deadline); rankErrs[i] != nil {
+					return
+				}
+			}
+			start := time.Now()
+			for n := 0; n < iters; n++ {
+				if rankErrs[i] = runners[i].Barrier(deadline); rankErrs[i] != nil {
+					return
+				}
+			}
+			durs[i] = time.Since(start) / time.Duration(iters)
+		}()
+	}
+	wg.Wait()
+	ctl.Stop()
+	if err := ctl.Err(); err != nil {
+		return fmt.Errorf("retune loop: %w", err)
+	}
+
+	failed := 0
+	for i, err := range rankErrs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "rank %d failed: %v\n", i, err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d ranks failed within the %v deadline (fail-fast: no rank hung)", failed, p, deadline)
+	}
+	max := time.Duration(0)
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	checked, triggered, swaps := 0, 0, 0
+	for _, d := range ctl.History() {
+		if d.Checked {
+			checked++
+		}
+		if d.Triggered {
+			triggered++
+		}
+		if d.Swapped {
+			swaps++
+		}
+	}
+	fmt.Printf("%s over %s mesh with online retuning, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
+		name, meshName, p, max, iters, warmup, deadline)
+	fmt.Printf("retune: %d checks (%d judged), %d triggered, %d swapped; final schedule %q predicted %.1fµs (epoch v%d)\n",
+		len(ctl.History()), checked, triggered, swaps, ctl.Schedule().Name, ctl.Predicted()*1e6, eps.Latest())
 	if tracer != nil {
 		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
 			return err

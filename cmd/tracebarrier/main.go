@@ -19,6 +19,7 @@
 //	tracebarrier -net -p N [-alg tree|linear|dissemination|hybrid]
 //	             [-iters N] [-warmup N] [-probe-iters N] [-workers N]
 //	             [-adaptive K] [-profile-cache DIR] [-drift-tol F] [-ranks]
+//	             [-recommend F]
 //	             [-net-deadline D] [-net-dial-timeout D] [-trace-out file.json]
 //	             [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
 //
@@ -30,6 +31,12 @@
 // forms the mesh with shared-memory rings between co-located ranks (from
 // -colocate, or derived from -cluster/-placement), so the probed profile
 // and the drift table show the real intra/inter-node class gap.
+//
+// -recommend F follows the drift table with one read-only pass of the online
+// retuning controller (internal/retune) at drift tolerance F: if the
+// observed-vs-predicted drift exceeds F it re-probes the stale links and
+// prints the schedule the closed loop would hot-swap in, without touching
+// the running mesh.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"topobarrier/internal/predict"
 	"topobarrier/internal/probe"
 	"topobarrier/internal/profile"
+	"topobarrier/internal/retune"
 	"topobarrier/internal/run"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/telemetry"
@@ -72,6 +80,7 @@ func main() {
 		cacheDir   = flag.String("profile-cache", "", "fingerprinted profile cache directory; warm profiles skip the probe (-net)")
 		driftTol   = flag.Float64("drift-tol", 0.5, "relative O+L drift that marks a cached link stale during revalidation; 0 trusts the cache blindly (-net)")
 		perRank    = flag.Bool("ranks", false, "print the per-rank drift rows, not just the per-stage maxima (-net)")
+		recommend  = flag.Float64("recommend", 0, "after the drift table, run one offline retune check at this drift tolerance and print the recommended schedule; 0 disables (-net)")
 		netDead    = flag.Duration("net-deadline", 5*time.Second, "per-receive deadline on the mesh (-net)")
 		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "mesh formation budget (-net)")
 		traceOut   = flag.String("trace-out", "", "write the final traced execution as Chrome trace-event JSON (-net)")
@@ -89,10 +98,13 @@ func main() {
 			iters: *probeIters, workers: *workers, adaptive: *adaptive,
 			cacheDir: *cacheDir, driftTol: *driftTol,
 		}
-		if err := runNetDrift(*alg, *p, nodes, *iters, *warmup, popts, *perRank, *netDead, *netDial, *traceOut); err != nil {
+		if err := runNetDrift(*alg, *p, nodes, *iters, *warmup, popts, *perRank, *recommend, *netDead, *netDial, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *recommend > 0 {
+		fatal(fmt.Errorf("-recommend judges a live mesh; it requires -net"))
 	}
 
 	var spec topo.Spec
@@ -240,12 +252,20 @@ func colocationNodes(transport, colocate, cluster, placement string, p int) ([]i
 
 // runNetDrift is the real-transport §VI validation: probe → predict →
 // execute traced → compare, all against one live loopback mesh.
-func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeCLIOptions, perRank bool, deadline, dialTimeout time.Duration, traceOut string) error {
+func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeCLIOptions, perRank bool, recommend float64, deadline, dialTimeout time.Duration, traceOut string) error {
 	if iters <= 0 || warmup < 0 {
 		return fmt.Errorf("need positive -iters and non-negative -warmup")
 	}
 	tracer := telemetry.NewTracer()
-	peers, err := netmpi.HybridMesh(p, nodes, dialTimeout, netmpi.WithTracer(tracer))
+	dialOpts := []netmpi.Option{netmpi.WithTracer(tracer)}
+	var reg *telemetry.Registry
+	if recommend > 0 {
+		// The recommendation reuses the online controller, which observes
+		// drift through the mesh's barrier histograms.
+		reg = telemetry.NewRegistry()
+		dialOpts = append(dialOpts, netmpi.WithTelemetry(reg))
+	}
+	peers, err := netmpi.HybridMesh(p, nodes, dialTimeout, dialOpts...)
 	if err != nil {
 		return err
 	}
@@ -316,6 +336,26 @@ func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeC
 	// Predict: per-stage completion times from the probed profile.
 	pd := predict.New(pf)
 	timeline := pd.Timeline(clean)
+
+	// The retune recommendation must watch the run from the start: the
+	// controller snapshots the barrier histograms at construction, so built
+	// any later it would see no fresh samples to judge.
+	var ctl *retune.Controller
+	if recommend > 0 {
+		eps, err := netmpi.NewEpochs(pl)
+		if err != nil {
+			return err
+		}
+		ctl, err = retune.New(peers, eps, clean, pf, retune.Options{
+			DriftTol:        recommend,
+			MinObservations: 1, // judge whatever the traced run produced
+			Probe:           probeOpts,
+			Registry:        reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	// Validate: traced executions over the same mesh the profile came from.
 	// Each traced barrier is preceded, in the same goroutine, by an untimed
@@ -443,12 +483,49 @@ func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeC
 	predTotal := pd.Cost(clean)
 	fmt.Printf("%5s  %10.1fµs  %10.1fµs  %+7.1f%%\n", "total", predTotal*1e6, obsTotal*1e6, driftPct(predTotal, obsTotal))
 
+	if ctl != nil {
+		if err := printRecommendation(ctl, clean, recommend); err != nil {
+			return err
+		}
+	}
+
 	if traceOut != "" {
 		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
 	}
+	return nil
+}
+
+// printRecommendation runs one pass of the online retuning controller
+// read-only: the same drift judgement, targeted re-probe, and seeded
+// re-search the closed loop performs, but with the proposal landing in a
+// throwaway epoch store — nothing executing is touched. The operator gets
+// the exact plan `runbarrier -net -retune` would have swapped in.
+func printRecommendation(ctl *retune.Controller, s *sched.Schedule, tol float64) error {
+	d, err := ctl.Check()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nretune check (tolerance %.2g):\n", tol)
+	if !d.Checked {
+		fmt.Println("  not enough barrier samples to judge drift")
+		return nil
+	}
+	fmt.Printf("  observed %.1fµs vs predicted %.1fµs — drift %.2f\n", d.Observed*1e6, d.Predicted*1e6, d.Drift)
+	if !d.Triggered {
+		fmt.Printf("  within tolerance; keep %q\n", s.Name)
+		return nil
+	}
+	fmt.Printf("  re-probe: %d directions screened, %d stale %v\n", d.Reprobe.Screened, len(d.Reprobe.Stale), d.Reprobe.Stale)
+	fmt.Printf("  current plan re-priced under the patched profile: %.1fµs\n", d.Repriced*1e6)
+	if !d.Swapped {
+		fmt.Printf("  no candidate beat the re-priced plan by the hysteresis margin; keep %q\n", s.Name)
+		return nil
+	}
+	fmt.Printf("  recommend switching to %q (%s): predicted %.1fµs, %.1f× better\n",
+		ctl.Schedule().Name, d.Candidate, d.NewPredicted*1e6, d.Repriced/d.NewPredicted)
 	return nil
 }
 

@@ -10,6 +10,8 @@
 //	            [-maxdepth N] [-builders paper|extended] [-dump]
 //	            [-refine N] [-telemetry addr] [-trace-out file.json]
 //	            [-profile-cache DIR] [-fingerprint PREFIX]
+//	            [-probe-net P] [-transport tcp|hybrid] [-colocate SPEC]
+//	            [-probe-iters N] [-drift-tol F]
 //
 // -telemetry serves the pipeline's metrics (tune_predicted_cost_seconds and,
 // with -refine, the refinement search's counters) over HTTP for the run's
@@ -25,7 +27,12 @@
 // loopback mesh, probes the O/L matrices over it, and tunes against the
 // measurement. -transport hybrid with -colocate routes co-located links over
 // shared-memory rings, so the probed profile carries the intra- vs
-// cross-node cost gap and the SSS clustering can exploit it.
+// cross-node cost gap and the SSS clustering can exploit it. Combined with
+// -profile-cache, the live probe goes through the fingerprinted cache: a
+// warm entry (same rank count, probe budget, and transport signature — a
+// hybrid mesh never shares a slot with a pure-TCP one) skips the
+// measurement after revalidating a sampled round against -drift-tol, and a
+// cold probe stores its result for the next run.
 package main
 
 import (
@@ -64,12 +71,17 @@ func main() {
 		transport  = flag.String("transport", "tcp", "with -probe-net, mesh transport: tcp, or hybrid (shared-memory rings between co-located ranks)")
 		colocate   = flag.String("colocate", "", "with -transport hybrid, co-location spec: \"nodes=K\" or rank groups \"0-3,4-7\"")
 		probeIters = flag.Int("probe-iters", 8, "with -probe-net, max ping-pongs per ordered rank pair")
+		driftTol   = flag.Float64("drift-tol", 0.5, "with -probe-net and -profile-cache, relative O+L drift that marks a cached link stale during revalidation; 0 trusts a hit blindly")
 	)
 	flag.Parse()
 
 	var pf *profile.Profile
 	if *probeNet > 0 {
-		npf, err := probeLiveProfile(*probeNet, *transport, *colocate, *probeIters)
+		var cache *profile.Cache
+		if *cacheDir != "" {
+			cache = &profile.Cache{Dir: *cacheDir}
+		}
+		npf, err := probeLiveProfile(*probeNet, *transport, *colocate, *probeIters, cache, *driftTol)
 		if err != nil {
 			fatal(err)
 		}
@@ -150,8 +162,11 @@ func main() {
 
 // probeLiveProfile forms a live mesh, measures the O/L profile over it, and
 // tears the mesh down — tuning then proceeds from a measurement of the very
-// transport the schedule will run on.
-func probeLiveProfile(p int, transport, colocate string, probeIters int) (*profile.Profile, error) {
+// transport the schedule will run on. With a cache, the probe is served
+// through the mesh fingerprint (rank count, probe budget, transport
+// signature), so a tune against a hybrid mesh can never pick up a profile
+// measured on pure TCP — their cost matrices are the thing being tuned for.
+func probeLiveProfile(p int, transport, colocate string, probeIters int, cache *profile.Cache, driftTol float64) (*profile.Profile, error) {
 	var nodes []int
 	switch transport {
 	case "tcp":
@@ -176,9 +191,19 @@ func probeLiveProfile(p int, transport, colocate string, probeIters int) (*profi
 	defer netmpi.CloseMesh(peers)
 	fmt.Fprintf(os.Stderr, "probing live %s mesh: %d ranks (%s)\n",
 		transport, p, peers[0].TransportSignature())
-	pf, _, err := netmpi.ProbeProfileOpts(peers, netmpi.ProbeOptions{MaxIters: probeIters})
+	opts := netmpi.ProbeOptions{MaxIters: probeIters}
+	if cache == nil {
+		pf, _, err := netmpi.ProbeProfileOpts(peers, opts)
+		return pf, err
+	}
+	pf, _, hit, err := netmpi.ProbeProfileCached(peers, opts, cache, driftTol)
 	if err != nil {
 		return nil, err
+	}
+	if hit {
+		fmt.Fprintf(os.Stderr, "profile cache hit (%s)\n", netmpi.MeshFingerprint(peers, opts))
+	} else {
+		fmt.Fprintf(os.Stderr, "profile cache miss; stored probe as %s\n", netmpi.MeshFingerprint(peers, opts))
 	}
 	return pf, nil
 }

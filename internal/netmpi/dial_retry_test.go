@@ -1,0 +1,128 @@
+package netmpi
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialRetryClampsFinalSleep pins the backoff clamp with a fake dial
+// function whose success is gated on wall-clock time: the target "comes up"
+// at 760 ms, inside a 1 s deadline. With backoff 50 ms doubling to a 400 ms
+// cap, attempts land near t = 0, 50, 150, 350, 750 — all failing — and the
+// next full backoff (400 ms) overshoots the deadline. The old code gave up
+// right there, at t ≈ 750 ms, discarding the last 250 ms of budget; the fix
+// clamps that final sleep to the remainder and attempts once more at the
+// deadline, where the dial succeeds.
+func TestDialRetryClampsFinalSleep(t *testing.T) {
+	start := time.Now()
+	up := start.Add(760 * time.Millisecond)
+	deadline := start.Add(1 * time.Second)
+	refused := errors.New("connection refused")
+
+	dials := 0
+	var lastAttempt time.Time
+	conn, attempts, err := dialRetry(func() (net.Conn, error) {
+		dials++
+		lastAttempt = time.Now()
+		if lastAttempt.After(up) {
+			c1, c2 := net.Pipe()
+			t.Cleanup(func() { c1.Close(); c2.Close() })
+			return c1, nil
+		}
+		return nil, refused
+	}, deadline, 50*time.Millisecond, 400*time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("dialRetry gave up with %d attempts: %v (listener was up %v before the deadline)",
+			attempts, err, deadline.Sub(up))
+	}
+	if conn == nil {
+		t.Fatal("nil conn without error")
+	}
+	if attempts != dials {
+		t.Fatalf("reported %d attempts, dial ran %d times", attempts, dials)
+	}
+	// The winning attempt must come from the clamped final sleep: after the
+	// target came up, at or past the pre-fix give-up point.
+	if lastAttempt.Before(up) {
+		t.Fatalf("successful attempt at t=%v precedes target-up at t=%v", lastAttempt.Sub(start), up.Sub(start))
+	}
+}
+
+// TestDialRetryLateListener is the end-to-end form of the clamp regression:
+// a real TCP listener binds its (pre-reserved) address 760 ms into a 1 s
+// dial budget — past the point where the unclamped backoff schedule gave up
+// — and the dial must still connect.
+func TestDialRetryLateListener(t *testing.T) {
+	// Reserve an ephemeral address, then free it for the late listener.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rsv.Addr().String()
+	rsv.Close()
+
+	lnCh := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(760 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			lnCh <- nil
+			return
+		}
+		lnCh <- ln
+	}()
+
+	deadline := time.Now().Add(1 * time.Second)
+	retries := 0
+	conn, attempts, err := dialRetry(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, deadline, 50*time.Millisecond, 400*time.Millisecond, func() { retries++ })
+	ln := <-lnCh
+	if ln != nil {
+		defer ln.Close()
+	}
+	if err != nil {
+		if ln == nil {
+			t.Skip("reserved address was taken before the late listener could bind")
+		}
+		t.Fatalf("dial to a listener up inside the deadline failed after %d attempts: %v", attempts, err)
+	}
+	defer conn.Close()
+	if retries == 0 || retries != attempts-1 {
+		t.Fatalf("expected attempts-1 retry callbacks before success, got retries=%d attempts=%d", retries, attempts)
+	}
+}
+
+// TestDialRetryGivesUpAtDeadline checks the failure side: against a target
+// that never comes up, dialRetry returns the last dial error once the budget
+// is spent — neither long before the deadline (the old bug) nor unboundedly
+// after it.
+func TestDialRetryGivesUpAtDeadline(t *testing.T) {
+	refused := errors.New("connection refused")
+	start := time.Now()
+	deadline := start.Add(300 * time.Millisecond)
+	conn, attempts, err := dialRetry(func() (net.Conn, error) {
+		return nil, refused
+	}, deadline, 20*time.Millisecond, 100*time.Millisecond, nil)
+	elapsed := time.Since(start)
+	if conn != nil || err == nil {
+		t.Fatalf("expected failure, got conn=%v err=%v", conn, err)
+	}
+	if !errors.Is(err, refused) {
+		t.Fatalf("expected the last dial error, got %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("expected multiple attempts inside the budget, got %d", attempts)
+	}
+	// The give-up must consume (essentially) the whole budget: the clamp
+	// means the final failing attempt happens at the deadline, not one full
+	// backoff short of it. Generous upper slack for scheduler noise.
+	if elapsed < 290*time.Millisecond {
+		t.Fatalf("gave up after %v, before the 300ms deadline — budget discarded", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("gave up only after %v, far past the 300ms deadline", elapsed)
+	}
+}

@@ -1,0 +1,227 @@
+package netmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"topobarrier/internal/run"
+	"topobarrier/internal/telemetry"
+)
+
+// Epoch-versioned plan execution: the hot-swap half of the online retuning
+// loop. An Epochs store holds the succession of compiled plans a mesh has
+// been asked to run; per-rank EpochRunners execute barriers against the
+// currently agreed plan and, at a fixed cadence, run a control barrier — a
+// dissemination min-allreduce over the plan versions each rank has locally
+// observed — to pick the switch point. Because every rank computes the same
+// minimum, every rank installs the same plan before the same data barrier;
+// no rank ever executes invocation n of one plan against invocation n of
+// another.
+//
+// Tag-space layout. Data barriers use four windows of run.TagSpan tags:
+//
+//	window = 2·(swaps mod 2) + (iteration-within-epoch mod 2)
+//
+// The iteration parity is the classic alternation (a rank racing into
+// barrier n+1 cannot match the frames of a straggler still in barrier n);
+// the swap parity partitions consecutive epochs, so in-flight frames from
+// epoch N can never match epoch N+1 receives even while ranks disagree by
+// one invocation about where the switch lands. Window reuse two swaps later
+// is safe because a switch only happens at a completed control barrier:
+// completing the min-allreduce proves every rank entered it, which proves
+// every rank finished — and, plans being quiescent (analyze.CheckPlan),
+// fully consumed — all data frames of the outgoing epoch. Control barriers
+// live in their own tag region (ctrlTagBase, far above the data windows and
+// the probe region) with the same two-window alternation over control
+// rounds.
+const (
+	// ctrlTagBase keeps control-barrier traffic clear of data barriers
+	// ([0, 4·run.TagSpan)) and probe traffic ([probeTagBase, …)).
+	ctrlTagBase = 1 << 22
+	// ctrlSpan is the per-round control tag budget: one tag per
+	// dissemination stage, so it bounds log2(P) — 64 covers any mesh.
+	ctrlSpan = 64
+)
+
+// Epochs is the shared, versioned plan store of one mesh: the rendezvous
+// between a retuning controller (Propose) and the per-rank EpochRunners
+// (Latest/Plan). Like ShmHub it is in-process shared state standing in for
+// what a multi-process deployment would put in a coordination service. The
+// zero-based version 0 is the plan the mesh started with.
+type Epochs struct {
+	mu    sync.RWMutex
+	plans []*run.Plan
+}
+
+// NewEpochs creates the store with the initial plan as version 0.
+func NewEpochs(initial *run.Plan) (*Epochs, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("netmpi: epochs need an initial plan")
+	}
+	return &Epochs{plans: []*run.Plan{initial}}, nil
+}
+
+// Propose installs a new plan and returns its version. Runners do not react
+// until their next control barrier agrees on it, so Propose is safe at any
+// time relative to in-flight barriers. Plans for a different mesh size are
+// rejected.
+func (e *Epochs) Propose(pl *run.Plan) (int, error) {
+	if pl == nil {
+		return 0, fmt.Errorf("netmpi: proposing a nil plan")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur := e.plans[len(e.plans)-1]; cur.P != pl.P {
+		return 0, fmt.Errorf("netmpi: proposed %d-rank plan for a %d-rank mesh", pl.P, cur.P)
+	}
+	e.plans = append(e.plans, pl)
+	return len(e.plans) - 1, nil
+}
+
+// Latest returns the newest proposed version.
+func (e *Epochs) Latest() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.plans) - 1
+}
+
+// Plan returns the plan of one version.
+func (e *Epochs) Plan(version int) (*run.Plan, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if version < 0 || version >= len(e.plans) {
+		return nil, fmt.Errorf("netmpi: no plan version %d (latest %d)", version, len(e.plans)-1)
+	}
+	return e.plans[version], nil
+}
+
+// EpochRunner executes one rank's barriers against the epoch store. All
+// ranks of a mesh must construct their runners with the same store and the
+// same CheckEvery, and call Barrier collectively the same number of times —
+// exactly the existing collective-call contract of Peer.Barrier, extended
+// with the agreed plan switch.
+type EpochRunner struct {
+	peer *Peer
+	eps  *Epochs
+
+	checkEvery int
+	calls      int // total Barrier invocations (drives the control cadence)
+	version    int // plan version currently executing
+	plan       *run.Plan
+	iter       int // invocations within the current epoch (drives tag parity)
+	swaps      int // completed switches (drives the epoch window parity)
+	ctrlRound  int // control barriers run (drives the control window parity)
+
+	swapMetric *telemetry.Counter
+	ctrlMetric *telemetry.Counter
+}
+
+// NewEpochRunner wraps one rank's peer. checkEvery is the control-barrier
+// cadence: every checkEvery-th Barrier call first agrees on (and installs)
+// the newest globally visible plan version; 0 selects 8. Runners start on
+// the latest version already in the store, so construct all runners before
+// the first concurrent Propose.
+func NewEpochRunner(peer *Peer, eps *Epochs, checkEvery int) (*EpochRunner, error) {
+	if peer == nil || eps == nil {
+		return nil, fmt.Errorf("netmpi: epoch runner needs a peer and an epoch store")
+	}
+	if checkEvery < 0 {
+		return nil, fmt.Errorf("netmpi: negative control cadence %d", checkEvery)
+	}
+	if checkEvery == 0 {
+		checkEvery = 8
+	}
+	version := eps.Latest()
+	pl, err := eps.Plan(version)
+	if err != nil {
+		return nil, err
+	}
+	if pl.P != peer.Size() {
+		return nil, fmt.Errorf("netmpi: %d-rank plan on %d-rank mesh", pl.P, peer.Size())
+	}
+	r := &EpochRunner{peer: peer, eps: eps, checkEvery: checkEvery, version: version, plan: pl}
+	if peer.reg != nil {
+		me := fmt.Sprint(peer.rank)
+		r.swapMetric = peer.reg.Counter(telemetry.Label("netmpi_epoch_swaps_total", "rank", me))
+		r.ctrlMetric = peer.reg.Counter(telemetry.Label("netmpi_epoch_control_rounds_total", "rank", me))
+	}
+	return r, nil
+}
+
+// Version reports the plan version the runner is currently executing.
+func (r *EpochRunner) Version() int { return r.version }
+
+// Swaps reports how many plan switches the runner has performed.
+func (r *EpochRunner) Swaps() int { return r.swaps }
+
+// Plan returns the plan the runner is currently executing.
+func (r *EpochRunner) Plan() *run.Plan { return r.plan }
+
+// agreeVersion is the control barrier: a dissemination min-allreduce over
+// the locally observed latest plan version. ⌈log2 P⌉ stages; at stage s rank
+// i sends its running minimum to (i+2^s) mod P and folds in the minimum
+// received from (i−2^s) mod P, so afterwards every rank holds the global
+// minimum — the newest version *every* rank has seen, the only version all
+// ranks can be trusted to switch to together. The dissemination pattern is
+// itself a barrier (full Eq. 3 closure), which is what makes the switch
+// point a quiescence point for the outgoing epoch's data frames.
+func (r *EpochRunner) agreeVersion(deadline time.Duration) (int, error) {
+	p := r.peer.Size()
+	base := ctrlTagBase + (r.ctrlRound%2)*ctrlSpan
+	r.ctrlRound++
+	r.ctrlMetric.Inc()
+	v := uint64(r.eps.Latest())
+	var buf [8]byte
+	for s := 0; 1<<s < p; s++ {
+		dst := (r.peer.Rank() + 1<<s) % p
+		src := (r.peer.Rank() - 1<<s%p + p) % p
+		binary.BigEndian.PutUint64(buf[:], v)
+		if err := r.peer.Send(dst, base+s, buf[:]); err != nil {
+			return 0, fmt.Errorf("control barrier stage %d: %w", s, err)
+		}
+		msg, err := r.peer.Recv(src, base+s, deadline)
+		if err != nil {
+			return 0, fmt.Errorf("control barrier stage %d: %w", s, err)
+		}
+		if len(msg) != 8 {
+			return 0, fmt.Errorf("control barrier stage %d: %d-byte version payload from rank %d", s, len(msg), src)
+		}
+		if got := binary.BigEndian.Uint64(msg); got < v {
+			v = got
+		}
+	}
+	return int(v), nil
+}
+
+// Barrier executes one data barrier under the current epoch's plan. Every
+// checkEvery-th call first runs the control barrier; when it agrees on a
+// newer version, the runner installs that plan — atomically with respect to
+// barrier traffic, because the installation happens between the control
+// barrier (a quiescence point) and the next data barrier, on every rank at
+// the same call index. The deadline bounds each receive of both the control
+// and the data phase.
+func (r *EpochRunner) Barrier(deadline time.Duration) error {
+	if r.calls%r.checkEvery == 0 {
+		agreed, err := r.agreeVersion(deadline)
+		if err != nil {
+			return err
+		}
+		if agreed > r.version {
+			pl, err := r.eps.Plan(agreed)
+			if err != nil {
+				return err
+			}
+			r.version = agreed
+			r.plan = pl
+			r.iter = 0
+			r.swaps++
+			r.swapMetric.Inc()
+		}
+	}
+	r.calls++
+	window := 2*(r.swaps%2) + r.iter%2
+	r.iter++
+	return r.peer.Barrier(r.plan, window*run.TagSpan, deadline)
+}

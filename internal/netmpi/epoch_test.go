@@ -1,0 +1,218 @@
+package netmpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+)
+
+func mustPlan(t *testing.T, s *sched.Schedule) *run.Plan {
+	t.Helper()
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// runEpochLoop drives every rank's runner through iters collective barriers,
+// returning the first error of each rank.
+func runEpochLoop(t *testing.T, runners []*EpochRunner, iters int, deadline time.Duration) []error {
+	t.Helper()
+	errs := make([]error, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				if err := r.Barrier(deadline); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	waitAll(t, &wg, 30*time.Second, "epoch barrier loop")
+	return errs
+}
+
+func newRunners(t *testing.T, peers []*Peer, eps *Epochs, checkEvery int) []*EpochRunner {
+	t.Helper()
+	runners := make([]*EpochRunner, len(peers))
+	for i, pe := range peers {
+		r, err := NewEpochRunner(pe, eps, checkEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = r
+	}
+	return runners
+}
+
+// TestEpochSwapMidRun proposes a new plan while barriers are in flight and
+// checks that every rank switches to it — at a control barrier, with zero
+// failed or blocked barriers — and that all ranks agree on the final
+// version.
+func TestEpochSwapMidRun(t *testing.T) {
+	const p = 6
+	peers, err := LoopbackMesh(p, meshTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+
+	planA := mustPlan(t, sched.Dissemination(p))
+	planB := mustPlan(t, sched.SymmetricDissemination(p))
+	eps, err := NewEpochs(planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := newRunners(t, peers, eps, 4)
+
+	// Warm phase on version 0.
+	for _, err := range runEpochLoop(t, runners, 10, 5*time.Second) {
+		if err != nil {
+			t.Fatalf("pre-swap barrier failed: %v", err)
+		}
+	}
+	for i, r := range runners {
+		if r.Version() != 0 || r.Swaps() != 0 {
+			t.Fatalf("rank %d moved off version 0 with nothing proposed: version=%d swaps=%d", i, r.Version(), r.Swaps())
+		}
+	}
+
+	v, err := eps.Propose(planB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("proposed version = %d, want 1", v)
+	}
+
+	// Enough iterations to cross at least one control barrier after the
+	// proposal became globally visible.
+	for _, err := range runEpochLoop(t, runners, 20, 5*time.Second) {
+		if err != nil {
+			t.Fatalf("barrier across the swap failed: %v", err)
+		}
+	}
+	for i, r := range runners {
+		if r.Version() != 1 {
+			t.Fatalf("rank %d still on version %d after the swap window", i, r.Version())
+		}
+		if r.Swaps() != 1 {
+			t.Fatalf("rank %d performed %d swaps, want exactly 1", i, r.Swaps())
+		}
+		if r.Plan() != planB {
+			t.Fatalf("rank %d is not executing the proposed plan", i)
+		}
+	}
+}
+
+// TestEpochVersionJump proposes two plans between control barriers: the
+// runners must jump straight to the newest agreed version in one switch.
+func TestEpochVersionJump(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, meshTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+
+	eps, err := NewEpochs(mustPlan(t, sched.Dissemination(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps.Propose(mustPlan(t, sched.Linear(p))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps.Propose(mustPlan(t, sched.SymmetricDissemination(p))); err != nil {
+		t.Fatal(err)
+	}
+	// Runners constructed after the proposals still start on the latest
+	// version — the store's contract.
+	runners := newRunners(t, peers, eps, 4)
+	for i, r := range runners {
+		if r.Version() != 2 {
+			t.Fatalf("rank %d started on version %d, want latest (2)", i, r.Version())
+		}
+	}
+
+	// Now wind back the clock: fresh mesh, runners built before proposals.
+	peers2, err := LoopbackMesh(p, meshTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers2)
+	eps2, err := NewEpochs(mustPlan(t, sched.Dissemination(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners2 := newRunners(t, peers2, eps2, 8)
+	if _, err := eps2.Propose(mustPlan(t, sched.Linear(p))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps2.Propose(mustPlan(t, sched.SymmetricDissemination(p))); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range runEpochLoop(t, runners2, 17, 5*time.Second) {
+		if err != nil {
+			t.Fatalf("barrier across the double swap failed: %v", err)
+		}
+	}
+	for i, r := range runners2 {
+		if r.Version() != 2 {
+			t.Fatalf("rank %d on version %d, want 2", i, r.Version())
+		}
+		if r.Swaps() != 1 {
+			t.Fatalf("rank %d took %d swaps for a version jump, want a single switch", i, r.Swaps())
+		}
+	}
+}
+
+// TestEpochsRejectsMismatchedPlan pins the store's validation.
+func TestEpochsRejectsMismatchedPlan(t *testing.T) {
+	eps, err := NewEpochs(mustPlan(t, sched.Dissemination(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps.Propose(mustPlan(t, sched.Dissemination(8))); err == nil {
+		t.Fatal("an 8-rank plan was accepted for a 4-rank mesh")
+	}
+	if _, err := eps.Propose(nil); err == nil {
+		t.Fatal("a nil plan was accepted")
+	}
+	if _, err := NewEpochs(nil); err == nil {
+		t.Fatal("a nil initial plan was accepted")
+	}
+	if _, err := eps.Plan(7); err == nil {
+		t.Fatal("an unknown version was served")
+	}
+}
+
+// TestEpochTagWindows pins the tag-space partition: consecutive epochs use
+// disjoint data windows, and the iteration parity resets at a switch.
+func TestEpochTagWindows(t *testing.T) {
+	window := func(swaps, iter int) int { return 2*(swaps%2) + iter%2 }
+	// Within an epoch: alternation.
+	if window(0, 0) == window(0, 1) {
+		t.Fatal("consecutive iterations share a window")
+	}
+	// Across a swap: both parities of epoch N are disjoint from both of N+1.
+	for i0 := 0; i0 < 2; i0++ {
+		for i1 := 0; i1 < 2; i1++ {
+			if window(0, i0) == window(1, i1) {
+				t.Fatalf("epoch windows collide: swaps=0/iter=%d vs swaps=1/iter=%d", i0, i1)
+			}
+		}
+	}
+	// The whole data region stays clear of probe and control tags.
+	if 4*run.TagSpan >= probeTagBase || probeTagBase >= ctrlTagBase {
+		t.Fatalf("tag regions overlap: data ends %d, probe at %d, control at %d", 4*run.TagSpan, probeTagBase, ctrlTagBase)
+	}
+}

@@ -222,6 +222,41 @@ const (
 	dialBackoffMax = 200 * time.Millisecond
 )
 
+// dialRetry runs dial with exponential backoff until it succeeds or the
+// deadline is exhausted, returning the connection, the number of attempts,
+// and the last dial error. The final sleep is clamped to the remaining
+// budget so one last attempt lands right at the deadline: giving up as soon
+// as now+backoff overshoots would silently discard up to backoffMax of the
+// dial budget, failing dials that a listener coming up just inside the
+// deadline would have satisfied. onRetry is invoked once per failed attempt.
+func dialRetry(dial func() (net.Conn, error), deadline time.Time, backoffMin, backoffMax time.Duration, onRetry func()) (net.Conn, int, error) {
+	backoff := backoffMin
+	attempts := 0
+	for {
+		attempts++
+		c, err := dial()
+		if err == nil {
+			return c, attempts, nil
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, attempts, err
+		}
+		sleep := backoff
+		if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
 // Listen opens a rank's listener on addr (use "127.0.0.1:0" for tests) and
 // returns it; its resolved address must be distributed to all peers before
 // Dial.
@@ -308,27 +343,13 @@ func Dial(rank int, addrs []string, ln net.Listener, timeout time.Duration, opts
 		go func() {
 			defer wg.Done()
 			d := net.Dialer{Deadline: deadline}
-			backoff := dialBackoffMin
-			attempts := 0
-			var conn net.Conn
-			for {
-				attempts++
-				c, err := d.Dial("tcp", addrs[j])
-				if err == nil {
-					conn = c
-					break
-				}
-				peer.m.dialRetry.Inc()
-				if time.Now().Add(backoff).After(deadline) {
-					fail(fmt.Errorf("netmpi: rank %d dialing rank %d (%d attempts): %w",
-						rank, j, attempts, err))
-					return
-				}
-				time.Sleep(backoff)
-				backoff *= 2
-				if backoff > dialBackoffMax {
-					backoff = dialBackoffMax
-				}
+			conn, attempts, err := dialRetry(func() (net.Conn, error) {
+				return d.Dial("tcp", addrs[j])
+			}, deadline, dialBackoffMin, dialBackoffMax, peer.m.dialRetry.Inc)
+			if err != nil {
+				fail(fmt.Errorf("netmpi: rank %d dialing rank %d (%d attempts): %w",
+					rank, j, attempts, err))
+				return
 			}
 			var hdr [4]byte
 			binary.BigEndian.PutUint32(hdr[:], uint32(rank))

@@ -2,6 +2,7 @@ package netmpi
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -223,6 +224,27 @@ func TestProbeProfileCachedRevalidation(t *testing.T) {
 		if again.O.At(0, 3) >= tampered/10 {
 			t.Fatal("patched entry was not re-stored")
 		}
+		// And the re-store wrote a well-formed envelope under the same
+		// fingerprint: the entry still audits against its filename and
+		// carries a fresh save time — a patched profile must be a
+		// first-class cache citizen, not a side-channel mutation.
+		raw, err := os.ReadFile(cache.Path(fp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Fingerprint string `json:"fingerprint"`
+			SavedAt     string `json:"saved_at"`
+		}
+		if err := json.Unmarshal(raw, &envelope); err != nil {
+			t.Fatal(err)
+		}
+		if envelope.Fingerprint != string(fp) {
+			t.Fatalf("re-stored entry carries fingerprint %q, want %q", envelope.Fingerprint, fp)
+		}
+		if _, err := time.Parse(time.RFC3339, envelope.SavedAt); err != nil {
+			t.Fatalf("re-stored entry's save time %q is not RFC3339: %v", envelope.SavedAt, err)
+		}
 	})
 
 	t.Run("reprobe-when-most-stale", func(t *testing.T) {
@@ -276,4 +298,78 @@ func TestProbeProfileFaultSurfacesFast(t *testing.T) {
 		pe.Close()
 	}
 	checkNoReaderLeak(t)
+}
+
+// TestProbeCacheCrossTransportIsolation is the cache-poisoning audit of the
+// hybrid transport path: a profile measured over a hybrid mesh must never
+// answer a cache lookup for a pure-TCP mesh of the same rank count and probe
+// budget, nor the reverse, nor a hybrid mesh of a different co-location
+// shape. The transport signature is part of the mesh fingerprint precisely
+// because the O/L class structure is the thing that differs between them —
+// a poisoned entry would hand the tuner the wrong platform.
+func TestProbeCacheCrossTransportIsolation(t *testing.T) {
+	const p = 4
+	opts := ProbeOptions{MaxIters: 3, StableK: 2}
+	tcp, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(tcp)
+	twoNode := hybridMesh(t, p, twoNodes(p))
+	oneNodeMesh := hybridMesh(t, p, oneNode(p))
+
+	fpTCP := MeshFingerprint(tcp, opts)
+	fpTwo := MeshFingerprint(twoNode, opts)
+	fpOne := MeshFingerprint(oneNodeMesh, opts)
+	if fpTCP == fpTwo || fpTCP == fpOne {
+		t.Fatalf("hybrid mesh shares a cache slot with pure TCP: tcp=%s two-node=%s one-node=%s", fpTCP, fpTwo, fpOne)
+	}
+	if fpTwo == fpOne {
+		t.Fatalf("different co-location shapes share a cache slot: %s", fpTwo)
+	}
+	// Pure-TCP keys are exactly the pre-hybrid fingerprint, so entries
+	// written before hybrid transports existed stay valid.
+	if fpTCP != ProbeFingerprint(p, opts) {
+		t.Fatalf("pure-TCP mesh fingerprint %s diverged from the legacy probe fingerprint %s", fpTCP, ProbeFingerprint(p, opts))
+	}
+
+	// Prime the cache from the two-node hybrid mesh, then look up the other
+	// meshes through the same cache: each first lookup must be a miss (a
+	// fresh measurement), never a cross-transport hit.
+	cache := &profile.Cache{Dir: t.TempDir()}
+	if _, _, hit, err := ProbeProfileCached(twoNode, opts, cache, 0); err != nil || hit {
+		t.Fatalf("priming probe: hit=%v err=%v", hit, err)
+	}
+	pfTCP, _, hit, err := ProbeProfileCached(tcp, opts, cache, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("a hybrid-measured profile answered for a pure-TCP mesh")
+	}
+	if !strings.HasPrefix(pfTCP.Platform, "netmpi-loopback") {
+		t.Fatalf("TCP mesh probe produced platform %q", pfTCP.Platform)
+	}
+	if _, _, hit, err := ProbeProfileCached(oneNodeMesh, opts, cache, 0); err != nil || hit {
+		t.Fatalf("one-node lookup against two-node/TCP entries: hit=%v err=%v", hit, err)
+	}
+
+	// With all three slots warm, every mesh hits — its own slot.
+	for _, m := range []struct {
+		name  string
+		peers []*Peer
+		plat  string
+	}{
+		{"tcp", tcp, "netmpi-loopback"},
+		{"two-node", twoNode, "netmpi-hybrid"},
+		{"one-node", oneNodeMesh, "netmpi-hybrid"},
+	} {
+		pf, _, hit, err := ProbeProfileCached(m.peers, opts, cache, 0)
+		if err != nil || !hit {
+			t.Fatalf("%s mesh missed its own warm slot: hit=%v err=%v", m.name, hit, err)
+		}
+		if !strings.HasPrefix(pf.Platform, m.plat) {
+			t.Fatalf("%s mesh loaded platform %q", m.name, pf.Platform)
+		}
+	}
 }

@@ -142,3 +142,106 @@ func TestCacheListAndLoadLatest(t *testing.T) {
 		t.Fatalf("LoadLatest without prefix: ok=%v err=%v", ok, err)
 	}
 }
+
+// writeEntry plants a cache entry with a controlled save time — List's order
+// contract can only be pinned with deterministic timestamps.
+func writeEntry(t *testing.T, c *Cache, fp Fingerprint, pf *Profile, savedAt string) {
+	t.Helper()
+	data, err := json.Marshal(cacheEntry{Fingerprint: string(fp), SavedAt: savedAt, Profile: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.Path(fp), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheListOrderAndTieBreak pins List's order: newest save time first,
+// and entries saved in the same instant ordered by fingerprint — the
+// tie-break that makes LoadLatest deterministic when a burst of probes lands
+// within one timestamp granule.
+func TestCacheListOrderAndTieBreak(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	fpOld := FingerprintOf("old")
+	fpTieA, fpTieB := FingerprintOf("tie-a"), FingerprintOf("tie-b")
+	if fpTieB < fpTieA {
+		fpTieA, fpTieB = fpTieB, fpTieA
+	}
+	writeEntry(t, c, fpOld, cacheProfile(3, 1), "2026-08-07T10:00:00Z")
+	writeEntry(t, c, fpTieB, cacheProfile(4, 2), "2026-08-08T10:00:00Z")
+	writeEntry(t, c, fpTieA, cacheProfile(5, 3), "2026-08-08T10:00:00Z")
+
+	for round := 0; round < 3; round++ {
+		infos, err := c.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 3 {
+			t.Fatalf("List returned %d entries, want 3", len(infos))
+		}
+		if infos[0].Fingerprint != fpTieA || infos[1].Fingerprint != fpTieB || infos[2].Fingerprint != fpOld {
+			t.Fatalf("round %d: List order %v, want [%s %s %s]", round,
+				[]Fingerprint{infos[0].Fingerprint, infos[1].Fingerprint, infos[2].Fingerprint}, fpTieA, fpTieB, fpOld)
+		}
+	}
+
+	// LoadLatest follows the same order: the tied pair resolves to the
+	// lexicographically smaller fingerprint, never the older entry.
+	pf, fp, ok, err := c.LoadLatest("")
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest: ok=%v err=%v", ok, err)
+	}
+	if fp != fpTieA || pf.P != 5 {
+		t.Fatalf("LoadLatest picked %s (P=%d), want %s (P=5)", fp, pf.P, fpTieA)
+	}
+}
+
+// TestCacheListSkipsCorruptAndRenamedEntries pins the degraded-directory
+// behaviour: a truncated entry and an entry whose file was renamed away from
+// its embedded fingerprint must not break List, and LoadLatest must fall
+// through them to the newest loadable entry.
+func TestCacheListSkipsCorruptAndRenamedEntries(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	fpGood := FingerprintOf("good")
+	writeEntry(t, c, fpGood, cacheProfile(3, 1), "2026-08-07T10:00:00Z")
+
+	// Corrupt: newer than the good entry, but not JSON.
+	if err := os.WriteFile(filepath.Join(c.Dir, "deadbeef.profile.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Renamed: a valid, newest envelope stored under the wrong filename. List
+	// reports its embedded fingerprint, but loading that fingerprint resolves
+	// to a file that does not exist — LoadLatest must skip it.
+	fpMoved := FingerprintOf("moved")
+	writeEntry(t, c, fpMoved, cacheProfile(4, 2), "2026-08-08T10:00:00Z")
+	if err := os.Rename(c.Path(fpMoved), filepath.Join(c.Dir, "0123456789abcdef.profile.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("List returned %d entries, want 2 (corrupt file skipped)", len(infos))
+	}
+	pf, fp, ok, err := c.LoadLatest("")
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest: ok=%v err=%v", ok, err)
+	}
+	if fp != fpGood || pf.P != 3 {
+		t.Fatalf("LoadLatest returned %s (P=%d), want the intact entry %s (P=3)", fp, pf.P, fpGood)
+	}
+
+	// Prefix narrowing still works through the degraded directory, and a
+	// prefix matching only the renamed entry finds nothing loadable.
+	if _, fp, ok, _ := c.LoadLatest(string(fpGood)[:6]); !ok || fp != fpGood {
+		t.Fatalf("prefix narrowing: ok=%v fp=%s", ok, fp)
+	}
+	if _, _, ok, err := c.LoadLatest(string(fpMoved)[:6]); ok || err != nil {
+		t.Fatalf("renamed-only prefix: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package retune
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package retune
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Timing pins are skipped under -race: instrumentation inflates scheduling
+// and channel costs far beyond syscalls, so relative barrier speeds measured
+// there say nothing about production builds.
+const raceEnabled = true
