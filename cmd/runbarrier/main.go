@@ -25,13 +25,21 @@
 //	           [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
 //	           [-retune] [-retune-drift F] [-retune-interval D]
 //	           [-retune-budget N]
-//	           [-telemetry addr] [-trace-out file.json]
+//	           [-telemetry addr] [-trace-out file.json] [-flight-dir dir]
 //
 // -telemetry serves the run's metrics registry (Prometheus text at /metrics,
 // expvar at /debug/vars, pprof at /debug/pprof) for the process lifetime;
 // with -net the mesh registers per-link frame/byte counters and wait/stage
 // histograms into it. -trace-out (with -net) writes every measured barrier's
 // per-stage spans as Chrome trace-event JSON.
+//
+// -flight-dir (with -net) arms a flight recorder: per-stage and per-message
+// spans accumulate in a bounded ring of recent windows, and when a barrier
+// fails — or, with -retune, when the controller flags drift — the retained
+// windows are dumped into the directory as JSON (merged timeline, realized
+// critical path, per-link blame) plus a Chrome trace. A final "run-end" dump
+// is written on success. With -telemetry the live recorder state is also
+// served at /debug/critpath.
 //
 // -retune (with -net) closes the online tuning loop around the measured run:
 // the mesh is probed before measurement, barriers execute through
@@ -56,6 +64,7 @@ import (
 
 	"topobarrier/internal/analyze"
 	"topobarrier/internal/baseline"
+	"topobarrier/internal/critpath"
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/faultnet"
 	"topobarrier/internal/mpi"
@@ -91,8 +100,9 @@ func main() {
 		retuneInterval = flag.Duration("retune-interval", 200*time.Millisecond, "cadence of the controller's drift checks")
 		retuneBudget   = flag.Int("retune-budget", 4000, "candidate evaluations of the seeded re-search per trigger")
 
-		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered")
+		telemetryAddr = flag.String("telemetry", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090); with -net the mesh's counters and histograms are registered, and with -flight-dir a /debug/critpath handler serves the merged timeline")
 		traceOut      = flag.String("trace-out", "", "with -net, write the measured barriers as Chrome trace-event JSON")
+		flightDir     = flag.String("flight-dir", "", "with -net, run a flight recorder over the mesh's message spans and dump JSON + Chrome trace into this directory on any rank failure, on retune drift triggers, and at run end")
 	)
 	flag.Parse()
 
@@ -101,13 +111,33 @@ func main() {
 		fatal(err)
 	}
 
+	// The tracer is shared by -trace-out and the flight recorder; the flight
+	// path bounds it, since a long-lived recorded run must not grow span
+	// memory without limit (evicted spans are counted, and the retained
+	// flight windows hold the recent past anyway).
+	var tracer *telemetry.Tracer
+	var flight *critpath.FlightRecorder
+	var extraRoutes []telemetry.Route
+	if *netRun && (*traceOut != "" || *flightDir != "") {
+		tracer = telemetry.NewTracer()
+	}
+	if *flightDir != "" {
+		if !*netRun {
+			fatal(fmt.Errorf("-flight-dir records a real transport execution; it requires -net"))
+		}
+		tracer.SetCap(1 << 18)
+		flight = critpath.NewFlightRecorder(tracer, *p, 16, *flightDir)
+		extraRoutes = append(extraRoutes, telemetry.Route{Pattern: "/debug/critpath", Handler: flight.Handler()})
+	}
+
 	var reg *telemetry.Registry
 	if *telemetryAddr != "" {
 		reg = telemetry.NewRegistry()
-		addr, err := telemetry.Serve(*telemetryAddr, reg)
+		addr, stop, err := telemetry.Serve(*telemetryAddr, reg, extraRoutes...)
 		if err != nil {
 			fatal(err)
 		}
+		defer stop()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 
@@ -126,7 +156,7 @@ func main() {
 			}
 			rc = &retuneConfig{drift: *retuneDrift, interval: *retuneInterval, budget: *retuneBudget}
 		}
-		if err := runNet(name, s, *p, nodes, *warmup, *iters, *netDead, *netDial, *netFault, reg, *traceOut, rc); err != nil {
+		if err := runNet(name, s, *p, nodes, *warmup, *iters, *netDead, *netDial, *netFault, reg, tracer, *traceOut, flight, rc); err != nil {
 			fatal(err)
 		}
 		return
@@ -288,7 +318,7 @@ type retuneConfig struct {
 // applies to the TCP links only (the faultnet injectors wrap net.Conn). A
 // non-nil rc runs the measurement through epoch runners with the online
 // retuning controller attached.
-func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, traceOut string, rc *retuneConfig) error {
+func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters int, deadline, dialTimeout time.Duration, faultSpec string, reg *telemetry.Registry, tracer *telemetry.Tracer, traceOut string, flight *critpath.FlightRecorder, rc *retuneConfig) error {
 	if s == nil {
 		return fmt.Errorf("%s is a hard-coded simulator baseline; -net needs a schedule (tree, linear, dissemination, or a JSON file)", name)
 	}
@@ -314,9 +344,7 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 	if reg != nil {
 		dialOpts = append(dialOpts, netmpi.WithTelemetry(reg))
 	}
-	var tracer *telemetry.Tracer
-	if traceOut != "" {
-		tracer = telemetry.NewTracer()
+	if tracer != nil {
 		dialOpts = append(dialOpts, netmpi.WithTracer(tracer))
 	}
 	meshName := "loopback TCP"
@@ -365,7 +393,7 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 		fmt.Fprintf(os.Stderr, "fault injection armed on rank %d's accepted links: %s\n", faultRank, faultSpec)
 	}
 	if rc != nil {
-		return runNetRetuned(name, meshName, s, pl, peers, warmup, iters, deadline, rc, reg, tracer, traceOut)
+		return runNetRetuned(name, meshName, s, pl, peers, warmup, iters, deadline, rc, reg, tracer, traceOut, flight)
 	}
 
 	durs := make([]time.Duration, p)
@@ -388,6 +416,7 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 		}
 	}
 	if failed > 0 {
+		dumpFlight(flight, "barrier-failure")
 		return fmt.Errorf("%d of %d ranks failed within the %v deadline (fail-fast: no rank hung)", failed, p, deadline)
 	}
 	max := time.Duration(0)
@@ -398,13 +427,29 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 	}
 	fmt.Printf("%s over %s mesh, P=%d: %v/barrier (%d iters, %d warmup, deadline %v)\n",
 		name, meshName, p, max, iters, warmup, deadline)
-	if tracer != nil {
+	if tracer != nil && traceOut != "" {
 		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("wrote Chrome trace to %s\n", traceOut)
 	}
+	dumpFlight(flight, "run-end")
 	return nil
+}
+
+// dumpFlight dumps the flight recorder (no-op when none is attached) and
+// reports where the dump landed; a dump failure must not mask the run's own
+// outcome, so it is only logged.
+func dumpFlight(flight *critpath.FlightRecorder, reason string) {
+	if flight == nil {
+		return
+	}
+	path, err := flight.Dump(reason)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump (%s) failed: %v\n", reason, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder dumped to %s (reason: %s)\n", path, reason)
 }
 
 // runNetRetuned measures the barrier through epoch-versioned runners with
@@ -413,7 +458,7 @@ func runNet(name string, s *sched.Schedule, p int, nodes []int, warmup, iters in
 // measured barriers keep flowing. The reported mean therefore covers the
 // whole story — stale plan, detection, and recovery — and the retune summary
 // line says which of those chapters actually happened.
-func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers []*netmpi.Peer, warmup, iters int, deadline time.Duration, rc *retuneConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, traceOut string) error {
+func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers []*netmpi.Peer, warmup, iters int, deadline time.Duration, rc *retuneConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, traceOut string, flight *critpath.FlightRecorder) error {
 	p := len(peers)
 	probeOpts := netmpi.ProbeOptions{MaxIters: 6, StableK: 3, Deadline: deadline, Registry: reg, Tracer: tracer}
 	pf, _, err := netmpi.ProbeProfileOpts(peers, probeOpts)
@@ -436,6 +481,7 @@ func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers
 		SearchBudget: rc.budget,
 		Registry:     reg,
 		Tracer:       tracer,
+		Flight:       flight,
 	})
 	if err != nil {
 		return err
@@ -479,6 +525,7 @@ func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers
 		}
 	}
 	if failed > 0 {
+		dumpFlight(flight, "barrier-failure")
 		return fmt.Errorf("%d of %d ranks failed within the %v deadline (fail-fast: no rank hung)", failed, p, deadline)
 	}
 	max := time.Duration(0)
@@ -503,12 +550,13 @@ func runNetRetuned(name, meshName string, s *sched.Schedule, pl *run.Plan, peers
 		name, meshName, p, max, iters, warmup, deadline)
 	fmt.Printf("retune: %d checks (%d judged), %d triggered, %d swapped; final schedule %q predicted %.1fµs (epoch v%d)\n",
 		len(ctl.History()), checked, triggered, swaps, ctl.Schedule().Name, ctl.Predicted()*1e6, eps.Latest())
-	if tracer != nil {
+	if tracer != nil && traceOut != "" {
 		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("wrote Chrome trace to %s\n", traceOut)
 	}
+	dumpFlight(flight, "run-end")
 	return nil
 }
 

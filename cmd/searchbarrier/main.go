@@ -62,10 +62,11 @@ func main() {
 	var reg *telemetry.Registry
 	if *telemetryAddr != "" {
 		reg = telemetry.NewRegistry()
-		addr, err := telemetry.Serve(*telemetryAddr, reg)
+		addr, stop, err := telemetry.Serve(*telemetryAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
+		defer stop()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 

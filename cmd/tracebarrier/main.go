@@ -19,7 +19,7 @@
 //	tracebarrier -net -p N [-alg tree|linear|dissemination|hybrid]
 //	             [-iters N] [-warmup N] [-probe-iters N] [-workers N]
 //	             [-adaptive K] [-profile-cache DIR] [-drift-tol F] [-ranks]
-//	             [-recommend F]
+//	             [-recommend F] [-critical-path]
 //	             [-net-deadline D] [-net-dial-timeout D] [-trace-out file.json]
 //	             [-transport tcp|hybrid] [-colocate nodes=K|"0-3,4-7"]
 //
@@ -37,6 +37,12 @@
 // observed-vs-predicted drift exceeds F it re-probes the stale links and
 // prints the schedule the closed loop would hot-swap in, without touching
 // the running mesh.
+//
+// -critical-path merges the last traced execution's per-message send/recv
+// spans into one causally-consistent timeline (internal/critpath), extracts
+// the *realized* critical path of the barrier, and prints it against the
+// model's predicted chain with a per-link blame table — the message-level
+// answer to "which link made this barrier slow".
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 
 	"topobarrier/internal/baseline"
 	"topobarrier/internal/core"
+	"topobarrier/internal/critpath"
 	"topobarrier/internal/fabric"
 	"topobarrier/internal/mpi"
 	"topobarrier/internal/netmpi"
@@ -81,6 +88,7 @@ func main() {
 		driftTol   = flag.Float64("drift-tol", 0.5, "relative O+L drift that marks a cached link stale during revalidation; 0 trusts the cache blindly (-net)")
 		perRank    = flag.Bool("ranks", false, "print the per-rank drift rows, not just the per-stage maxima (-net)")
 		recommend  = flag.Float64("recommend", 0, "after the drift table, run one offline retune check at this drift tolerance and print the recommended schedule; 0 disables (-net)")
+		critPath   = flag.Bool("critical-path", false, "merge the last traced execution into one timeline and print its realized critical path, the predicted chain, and per-link blame (-net)")
 		netDead    = flag.Duration("net-deadline", 5*time.Second, "per-receive deadline on the mesh (-net)")
 		netDial    = flag.Duration("net-dial-timeout", 5*time.Second, "mesh formation budget (-net)")
 		traceOut   = flag.String("trace-out", "", "write the final traced execution as Chrome trace-event JSON (-net)")
@@ -98,13 +106,16 @@ func main() {
 			iters: *probeIters, workers: *workers, adaptive: *adaptive,
 			cacheDir: *cacheDir, driftTol: *driftTol,
 		}
-		if err := runNetDrift(*alg, *p, nodes, *iters, *warmup, popts, *perRank, *recommend, *netDead, *netDial, *traceOut); err != nil {
+		if err := runNetDrift(*alg, *p, nodes, *iters, *warmup, popts, *perRank, *recommend, *critPath, *netDead, *netDial, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *recommend > 0 {
 		fatal(fmt.Errorf("-recommend judges a live mesh; it requires -net"))
+	}
+	if *critPath {
+		fatal(fmt.Errorf("-critical-path merges live mesh traces; it requires -net (the simulator prints its own measured path)"))
 	}
 
 	var spec topo.Spec
@@ -252,7 +263,7 @@ func colocationNodes(transport, colocate, cluster, placement string, p int) ([]i
 
 // runNetDrift is the real-transport §VI validation: probe → predict →
 // execute traced → compare, all against one live loopback mesh.
-func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeCLIOptions, perRank bool, recommend float64, deadline, dialTimeout time.Duration, traceOut string) error {
+func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeCLIOptions, perRank bool, recommend float64, critPath bool, deadline, dialTimeout time.Duration, traceOut string) error {
 	if iters <= 0 || warmup < 0 {
 		return fmt.Errorf("need positive -iters and non-negative -warmup")
 	}
@@ -487,6 +498,25 @@ func runNetDrift(alg string, p int, nodes []int, iters, warmup int, popts probeC
 		if err := printRecommendation(ctl, clean, recommend); err != nil {
 			return err
 		}
+	}
+
+	if critPath {
+		// The tracer still holds the final iteration's window: the alignment
+		// barrier plus the traced one. Merge auto-selects the later (traced)
+		// instance; the alignment run doubles as clock-offset material.
+		tl, err := critpath.Merge(tracer.Events(), p, -1)
+		if err != nil {
+			return fmt.Errorf("merging the final traced window: %w", err)
+		}
+		est := 0
+		for _, e := range tl.Estimated {
+			if e {
+				est++
+			}
+		}
+		fmt.Printf("\nmerged timeline: %d matched messages (%d unmatched), clock offsets estimated for %d/%d ranks\n",
+			len(tl.All), tl.Unmatched, est, p)
+		fmt.Print(critpath.Analyze(tl, pd, clean))
 	}
 
 	if traceOut != "" {

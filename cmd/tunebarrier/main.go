@@ -111,10 +111,11 @@ func main() {
 	}
 	if *telemetryAddr != "" {
 		opts.Telemetry = telemetry.NewRegistry()
-		addr, err := telemetry.Serve(*telemetryAddr, opts.Telemetry)
+		addr, stop, err := telemetry.Serve(*telemetryAddr, opts.Telemetry)
 		if err != nil {
 			fatal(err)
 		}
+		defer stop()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 	var tracer *telemetry.Tracer

@@ -1,0 +1,99 @@
+package critpath
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
+)
+
+// synthWindow builds the span stream of `barriers` dissemination barriers on
+// a p-rank mesh with deterministic healthy timings: 2µs send overhead, 20µs
+// flight, stages back to back. This is the merge/extract workload a flight
+// dump or a -critical-path report runs over.
+func synthWindow(p, barriers int) []telemetry.SpanEvent {
+	var evs []telemetry.SpanEvent
+	for b := 0; b < barriers; b++ {
+		base := time.Duration(b) * time.Millisecond
+		for k, d := 0, 1; d < p; k, d = k+1, d<<1 {
+			st := base + time.Duration(k)*30*us
+			for i := 0; i < p; i++ {
+				dst := (i + d) % p
+				evs = exchange(evs, i, dst, k, (b%2)*1024+k, st, 2*us, st, st+22*us)
+				evs = append(evs, stageEv(i, k, st, 25*us))
+			}
+		}
+	}
+	return evs
+}
+
+// synthSched is the matching dissemination schedule.
+func synthSched(p int) *sched.Schedule {
+	s := sched.New("bench", p)
+	for d := 1; d < p; d <<= 1 {
+		m := mat.NewBool(p)
+		for i := 0; i < p; i++ {
+			m.Set(i, (i+d)%p, true)
+		}
+		s.AddStage(m)
+	}
+	return s
+}
+
+// BenchmarkMerge measures the cross-rank merge — FIFO matching, offset
+// estimation, instance grouping — over a 16-barrier window, the flight
+// recorder's default retention depth.
+func BenchmarkMerge(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		evs := synthWindow(p, 16)
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Merge(evs, p, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the full report path on an already-merged
+// timeline: realized critical-path walk, predicted chain, blame table.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		tl, err := Merge(synthWindow(p, 16), p, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pf := uniformProfile(p, 2e-6, 20e-6)
+		pd := predict.New(pf)
+		s := synthSched(p)
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if rep := Analyze(tl, pd, s); len(rep.Realized) == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkImplicated measures the blame-only path the retune controller
+// takes on every drift trigger.
+func BenchmarkImplicated(b *testing.B) {
+	const p = 8
+	tl, err := Merge(synthWindow(p, 16), p, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf := uniformProfile(p, 2e-6, 20e-6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tl.Implicated(pf, 0.5)
+	}
+}

@@ -1,0 +1,405 @@
+package critpath_test
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"topobarrier/internal/critpath"
+	"topobarrier/internal/faultnet"
+	"topobarrier/internal/netmpi"
+	"topobarrier/internal/predict"
+	"topobarrier/internal/retune"
+	"topobarrier/internal/run"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/telemetry"
+)
+
+const meshTimeout = 5 * time.Second
+
+// toggleDelay delays every frame the wrapped side writes by the current
+// setting; 0 passes frames through untouched.
+type toggleDelay struct{ ns atomic.Int64 }
+
+func (t *toggleDelay) Judge(int) faultnet.Action {
+	if d := t.ns.Load(); d > 0 {
+		return faultnet.Action{Op: faultnet.Delay, Delay: time.Duration(d)}
+	}
+	return faultnet.Action{}
+}
+
+// delayedLinkMesh builds a p-rank mesh where exactly ONE direction can be
+// degraded from the test: wrapping the listener of rank p−2 injects into the
+// frames that rank writes on its accepted connections, and only rank p−1
+// dials it — so the injector owns precisely the (p−2)→(p−1) direction.
+func delayedLinkMesh(t testing.TB, p int, inj faultnet.Injector, opts ...netmpi.Option) []*netmpi.Peer {
+	t.Helper()
+	faultRank := p - 2
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		ln, err := netmpi.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == faultRank {
+			ln = &faultnet.Listener{Listener: ln, New: func() faultnet.Injector { return inj }}
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	peers := make([]*netmpi.Peer, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peers[i], errs[i] = netmpi.Dial(i, addrs, listeners[i], meshTimeout, opts...)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, pe := range peers {
+			pe.Close()
+		}
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	})
+	return peers
+}
+
+// barrierAll runs one collective barrier over the plan and returns the
+// per-rank errors.
+func barrierAll(peers []*netmpi.Peer, pl *run.Plan, tag int, deadline time.Duration) []error {
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, pe := range peers {
+		i, pe := i, pe
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = pe.Barrier(pl, tag, deadline)
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestBlameAndFlightRecorderE2E is the acceptance test of the tracing
+// pipeline on a live P=8 mesh with one faultnet-delayed link (6→7): the
+// merged timeline's blame table must put the injected direction on top, the
+// aimed re-probe must screen only the implicated handful instead of all
+// P·(P−1)=56 directions, and when the link degrades into a latched barrier
+// failure the flight recorder must dump a valid Chrome trace of the moments
+// before it.
+func TestBlameAndFlightRecorderE2E(t *testing.T) {
+	const (
+		p     = 8
+		from  = p - 2 // the one delayed direction is from→to
+		to    = p - 1
+		delay = 1 * time.Millisecond
+	)
+	inj := &toggleDelay{}
+	tracer := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	peers := delayedLinkMesh(t, p, inj, netmpi.WithTracer(tracer), netmpi.WithTelemetry(reg))
+
+	probeOpts := netmpi.ProbeOptions{MaxIters: 4, StableK: 2, Deadline: 10 * time.Second}
+	pf, _, err := netmpi.ProbeProfileOpts(peers, probeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Dissemination(p) // stage 0 sends 6→7: the delay sits on the plan
+	pl, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flightDir := t.TempDir()
+	flight := critpath.NewFlightRecorder(tracer, p, 16, flightDir)
+	pd := predict.New(pf)
+	flight.SetModel(pd, s)
+
+	// Seal the probe-era spans into their own window, then run barriers with
+	// the delay on: the fresh window holds only drifted traffic.
+	flight.Cut("post-probe")
+	inj.ns.Store(int64(delay))
+	tag := 0
+	nextTag := func() int { tag++; return (tag % 2) * run.TagSpan }
+	for i := 0; i < 12; i++ {
+		for r, err := range barrierAll(peers, pl, nextTag(), meshTimeout) {
+			if err != nil {
+				t.Fatalf("barrier %d rank %d: %v", i, r, err)
+			}
+		}
+	}
+
+	// Blame: the injected direction must top the table and be implicated.
+	links := flight.ImplicatedFresh(pf, 4.0, "drift")
+	if len(links) == 0 {
+		t.Fatal("no links implicated under a 1ms injected delay")
+	}
+	if links[0] != (critpath.Link{From: from, To: to}) {
+		t.Fatalf("top blame %v, want %d→%d (full set %v)", links[0], from, to, links)
+	}
+	if len(links) >= p*(p-1) {
+		t.Fatalf("blame implicated the whole mesh: %d links", len(links))
+	}
+
+	// The realized critical path of the last barrier must route through the
+	// delayed link: a 1ms arrival dominates every healthy ~20µs hop.
+	wins := flight.Windows()
+	tl, err := critpath.Merge(wins[len(wins)-1].Events, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := critpath.Analyze(tl, pd, s)
+	if len(rep.Realized) == 0 {
+		t.Fatal("no realized critical path extracted")
+	}
+	onPath := false
+	for _, h := range rep.Realized {
+		if h.From == from && h.To == to {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Errorf("delayed link %d→%d not on the realized path:\n%s", from, to, rep)
+	}
+	if rep.Blame[0].From != from || rep.Blame[0].To != to {
+		t.Errorf("report top blame %d→%d, want %d→%d", rep.Blame[0].From, rep.Blame[0].To, from, to)
+	}
+
+	// Aimed re-probe: screen only the implicated set — strictly fewer than
+	// P·(P−1) directions — and fully re-probe the delayed one.
+	dirs := make([]netmpi.Direction, len(links))
+	for i, l := range links {
+		dirs[i] = netmpi.Direction{From: l.From, To: l.To}
+	}
+	rrep, err := netmpi.ReprobeDirections(peers, pf, probeOpts, 0.5, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Screened != len(dirs) || rrep.Screened >= p*(p-1) {
+		t.Fatalf("aimed screen measured %d directions, want %d (≪ %d)", rrep.Screened, len(dirs), p*(p-1))
+	}
+	staleHit := false
+	for _, d := range rrep.Stale {
+		if d == (netmpi.Direction{From: from, To: to}) {
+			staleHit = true
+		}
+	}
+	if !staleHit {
+		t.Errorf("delayed direction survived the aimed screen: stale %v", rrep.Stale)
+	}
+	if got := pf.O.At(from, to) + pf.L.At(from, to); got < delay.Seconds()/2 {
+		t.Errorf("patched O+L[%d][%d] = %gµs does not reflect the 1ms delay", from, to, got*1e6)
+	}
+
+	// Latched failure: crank the delay past the deadline; rank 7's receive
+	// from 6 times out and the failure latches. The flight recorder must
+	// dump a loadable Chrome trace of the retained windows.
+	inj.ns.Store(int64(600 * time.Millisecond))
+	failed := 0
+	for _, err := range barrierAll(peers, pl, nextTag(), 150*time.Millisecond) {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no rank failed with the delay past the deadline")
+	}
+	path, err := flight.Dump("barrier-failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Reason  string            `json:"reason"`
+		Windows []json.RawMessage `json:"windows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("flight dump JSON: %v", err)
+	}
+	if doc.Reason != "barrier-failure" || len(doc.Windows) == 0 {
+		t.Errorf("dump doc reason %q with %d windows", doc.Reason, len(doc.Windows))
+	}
+	traw, err := os.ReadFile(strings.TrimSuffix(path, ".json") + ".trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tdoc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traw, &tdoc); err != nil {
+		t.Fatalf("flight Chrome trace: %v", err)
+	}
+	if len(tdoc.TraceEvents) == 0 {
+		t.Error("flight Chrome trace is empty")
+	}
+}
+
+// TestAimedReprobeClosedLoop drives the retune controller with a flight
+// recorder attached on a live P=8 mesh: on the drift trigger the controller
+// must aim the re-probe at the blamed directions — screening strictly fewer
+// than P·(P−1)=56 — catch the injected 6→7 link, and still complete the
+// re-tune and swap.
+func TestAimedReprobeClosedLoop(t *testing.T) {
+	const (
+		p     = 8
+		from  = p - 2
+		to    = p - 1
+		delay = 3 * time.Millisecond
+	)
+	inj := &toggleDelay{}
+	tracer := telemetry.NewTracer()
+	tracer.SetCap(1 << 17)
+	reg := telemetry.NewRegistry()
+	peers := delayedLinkMesh(t, p, inj, netmpi.WithTracer(tracer), netmpi.WithTelemetry(reg))
+
+	probeOpts := netmpi.ProbeOptions{MaxIters: 4, StableK: 2, Deadline: 10 * time.Second}
+	pf, _, err := netmpi.ProbeProfileOpts(peers, probeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Dissemination(p)
+	plan, err := run.NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := netmpi.NewEpochs(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := make([]*netmpi.EpochRunner, p)
+	for i, pe := range peers {
+		if runners[i], err = netmpi.NewEpochRunner(pe, eps, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runLoop := func(iters int, what string) {
+		t.Helper()
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for i, r := range runners {
+			i, r := i, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < iters; n++ {
+					if errs[i] = r.Barrier(30 * time.Second); errs[i] != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: rank %d: %v", what, i, err)
+			}
+		}
+	}
+
+	flightDir := t.TempDir()
+	flight := critpath.NewFlightRecorder(tracer, p, 16, flightDir)
+	ctl, err := retune.New(peers, eps, s, pf, retune.Options{
+		DriftTol:        8,
+		MinObservations: 6,
+		Probe:           probeOpts,
+		SearchBudget:    2000,
+		SearchSeed:      42,
+		Policy:          predict.AlwaysEq1, // represents a per-target send overhead (see retune tests)
+		Registry:        reg,
+		Flight:          flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy window: check declines, and cuts the flight window so the
+	// healthy floors cannot mask the coming drift.
+	runLoop(20, "baseline")
+	d1, err := ctl.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Checked || d1.Triggered {
+		t.Fatalf("baseline check: %+v", d1)
+	}
+
+	// Drift window: only 6→7 degrades.
+	inj.ns.Store(int64(delay))
+	runLoop(15, "under drift")
+	d2, err := ctl.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Triggered {
+		t.Fatalf("3ms delay on the plan's stage-0 link did not trigger: %+v", d2)
+	}
+	if len(d2.Implicated) == 0 {
+		t.Fatal("triggered check fell back to a full screen: blame named no suspects")
+	}
+	if d2.Reprobe.Screened != len(d2.Implicated) || d2.Reprobe.Screened >= p*(p-1) {
+		t.Fatalf("screened %d directions for %d implicated, want an aimed screen ≪ %d",
+			d2.Reprobe.Screened, len(d2.Implicated), p*(p-1))
+	}
+	hit := false
+	for _, d := range d2.Implicated {
+		if d == (netmpi.Direction{From: from, To: to}) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("injected %d→%d not in the implicated set %v", from, to, d2.Implicated)
+	}
+	staleHit := false
+	for _, d := range d2.Reprobe.Stale {
+		if d == (netmpi.Direction{From: from, To: to}) {
+			staleHit = true
+		}
+	}
+	if !staleHit {
+		t.Errorf("injected direction not fully re-probed: stale %v", d2.Reprobe.Stale)
+	}
+	if !d2.Swapped {
+		t.Fatalf("no swap proposed: repriced %.3gs best %.3gs (%s)", d2.Repriced, d2.NewPredicted, d2.Candidate)
+	}
+
+	// The drift moment must be on disk: a dump with reason "drift" plus its
+	// Chrome trace.
+	ents, err := os.ReadDir(flightDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumped bool
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "drift") && strings.HasSuffix(e.Name(), ".trace.json") {
+			dumped = true
+		}
+	}
+	if !dumped {
+		t.Errorf("no drift flight dump in %s: %v", flightDir, ents)
+	}
+
+	// The loop still closes: barriers keep running on the swapped plan.
+	runLoop(10, "post-swap")
+	t.Logf("drift %.2f, implicated %v, screened %d/%d, swapped to %q (%s)",
+		d2.Drift, d2.Implicated, d2.Reprobe.Screened, p*(p-1), ctl.Schedule().Name, d2.Candidate)
+}

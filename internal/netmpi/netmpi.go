@@ -755,6 +755,32 @@ func (p *Peer) stageClass(st run.StageOps) string {
 	}
 }
 
+// Message-span names, precomputed so the traced hot path does not
+// concatenate per message. The suffix is the link's transport class; the
+// span's peer attribute is the other end and the tag attribute is the wire
+// tag, which is what lets critpath match a send span on one rank to the
+// receive span it caused on another.
+const (
+	sendSpanTCP = "barrier.send:tcp"
+	sendSpanShm = "barrier.send:shm"
+	recvSpanTCP = "barrier.recv:tcp"
+	recvSpanShm = "barrier.recv:shm"
+)
+
+func (p *Peer) sendSpanName(dst int) string {
+	if p.TransportOf(dst) == TransportShm {
+		return sendSpanShm
+	}
+	return sendSpanTCP
+}
+
+func (p *Peer) recvSpanName(src int) string {
+	if p.TransportOf(src) == TransportShm {
+		return recvSpanShm
+	}
+	return recvSpanTCP
+}
+
 // Barrier executes one compiled barrier plan over the mesh, using tags in
 // [tagBase, tagBase+plan stages). The deadline bounds each receive; any
 // transport failure or timeout aborts the barrier with an error naming the
@@ -778,13 +804,19 @@ func (p *Peer) Barrier(pl *run.Plan, tagBase int, deadline time.Duration) error 
 			span = p.tracer.Begin("barrier.stage:"+p.stageClass(st), p.rank, st.Stage, -1)
 		}
 		for _, dst := range st.Sends {
-			if err := p.Send(dst, tag, nil); err != nil {
+			ms := p.tracer.BeginTag(p.sendSpanName(dst), p.rank, st.Stage, dst, tag)
+			err := p.Send(dst, tag, nil)
+			ms.End()
+			if err != nil {
 				span.End()
 				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
 		}
 		for _, src := range st.Recvs {
-			if _, err := p.Recv(src, tag, deadline); err != nil {
+			ms := p.tracer.BeginTag(p.recvSpanName(src), p.rank, st.Stage, src, tag)
+			_, err := p.Recv(src, tag, deadline)
+			ms.End()
+			if err != nil {
 				span.End()
 				return fmt.Errorf("barrier stage %d: %w", st.Stage, err)
 			}
@@ -900,7 +932,9 @@ func (p *Peer) BarrierResilient(pl *run.Plan, tagBase int, deadline time.Duratio
 			span = p.tracer.Begin("barrier.stage:"+p.stageClass(st), p.rank, st.Stage, -1)
 		}
 		for _, dst := range st.Sends {
+			ms := p.tracer.BeginTag(p.sendSpanName(dst), p.rank, st.Stage, dst, tag)
 			skip, err := p.sendResilient(dst, tag, nil)
+			ms.End()
 			if err != nil {
 				span.End()
 				return nil, fmt.Errorf("barrier stage %d: %w", st.Stage, err)
@@ -910,7 +944,9 @@ func (p *Peer) BarrierResilient(pl *run.Plan, tagBase int, deadline time.Duratio
 			}
 		}
 		for _, src := range st.Recvs {
+			ms := p.tracer.BeginTag(p.recvSpanName(src), p.rank, st.Stage, src, tag)
 			skip, err := p.recvResilient(src, tag, deadline)
+			ms.End()
 			if err != nil {
 				span.End()
 				return nil, fmt.Errorf("barrier stage %d: %w", st.Stage, err)

@@ -19,7 +19,8 @@ func (d Direction) String() string { return fmt.Sprintf("%d→%d", d.From, d.To)
 // ReprobeReport describes one targeted re-probe pass.
 type ReprobeReport struct {
 	// Screened is the number of directions the cheap screening phase
-	// measured (every off-diagonal direction of the mesh).
+	// measured: every off-diagonal direction for ReprobeStale, only the
+	// caller's implicated set for ReprobeDirections.
 	Screened int
 	// Stale lists the directions whose screened round-trip cost drifted
 	// beyond the tolerance — exactly the set the full prober revisited.
@@ -66,16 +67,7 @@ func ReprobeStale(peers []*Peer, pf *profile.Profile, opts ProbeOptions, driftTo
 	// Phase one: cheap screen of every direction. Two samples per direction
 	// keep the phase O(P) wall-clock at ⌊P/2⌋-way round parallelism while
 	// still taking a minimum over more than one observation.
-	screen := opts
-	screen.MaxIters = 2
-	if opts.MaxIters < 2 {
-		screen.MaxIters = opts.MaxIters
-	}
-	screen.StableK = 0
-	type freshDir struct {
-		d Direction
-		r dirResult
-	}
+	screen := screenOpts(opts)
 	var stale []freshDir
 	for _, round := range probe.Rounds(p) {
 		results, err := probeRound(peers, round, screen)
@@ -96,6 +88,95 @@ func ReprobeStale(peers []*Peer, pf *profile.Profile, opts ProbeOptions, driftTo
 			}
 		}
 	}
+	return finishReprobe(peers, pf, opts, rep, stale, start)
+}
+
+// ReprobeDirections is ReprobeStale aimed at an implicated subset: instead
+// of screening all P·(P−1) directions it screens only dirs (deduplicated;
+// a two-sample probe per direction, sequential — the implicated set is
+// expected to be a few links), then runs the same full adaptive re-probe
+// over whichever of them actually drifted, patching pf in place. This is
+// the path the retune controller takes when critpath's per-link blame has
+// already named suspects: the screen cost scales with the evidence, not
+// with the mesh.
+func ReprobeDirections(peers []*Peer, pf *profile.Profile, opts ProbeOptions, driftTol float64, dirs []Direction) (*ReprobeReport, error) {
+	if err := validateProbePeers(peers); err != nil {
+		return nil, err
+	}
+	if pf == nil || pf.P != len(peers) {
+		return nil, fmt.Errorf("netmpi: reprobe needs a %d-rank profile", len(peers))
+	}
+	if driftTol <= 0 {
+		return nil, fmt.Errorf("netmpi: reprobe needs a positive drift tolerance, got %g", driftTol)
+	}
+	p := len(peers)
+	seen := make(map[Direction]bool, len(dirs))
+	uniq := make([]Direction, 0, len(dirs))
+	for _, d := range dirs {
+		if d.From < 0 || d.From >= p || d.To < 0 || d.To >= p || d.From == d.To {
+			return nil, fmt.Errorf("netmpi: reprobe direction %s invalid for %d ranks", d, p)
+		}
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("netmpi: reprobe needs at least one direction")
+	}
+	sort.Slice(uniq, func(a, b int) bool {
+		if uniq[a].From != uniq[b].From {
+			return uniq[a].From < uniq[b].From
+		}
+		return uniq[a].To < uniq[b].To
+	})
+	opts = opts.withDefaults()
+	rep := &ReprobeReport{}
+	start := time.Now()
+	span := opts.Tracer.Begin("probe.reprobe_aimed", -1, -1, -1)
+	defer span.End()
+
+	screen := screenOpts(opts)
+	var stale []freshDir
+	for _, d := range uniq {
+		r, err := probeDirection(peers, d.From, d.To, screen)
+		if err != nil {
+			return nil, fmt.Errorf("netmpi: reprobe screen %s: %w", d, err)
+		}
+		rep.Screened++
+		rep.ScreenSamples += r.n
+		old := pf.O.At(d.From, d.To) + pf.L.At(d.From, d.To)
+		if relDrift(old, r.o+r.l) > driftTol {
+			stale = append(stale, freshDir{d, r})
+		}
+	}
+	return finishReprobe(peers, pf, opts, rep, stale, start)
+}
+
+// freshDir pairs a screened direction with its two-sample measurement.
+type freshDir struct {
+	d Direction
+	r dirResult
+}
+
+// screenOpts derives the cheap phase-one options: two samples, no
+// stability stopping.
+func screenOpts(opts ProbeOptions) ProbeOptions {
+	screen := opts
+	screen.MaxIters = 2
+	if opts.MaxIters < 2 {
+		screen.MaxIters = opts.MaxIters
+	}
+	screen.StableK = 0
+	return screen
+}
+
+// finishReprobe is the shared tail of both re-probe entry points: record the
+// screen counters, run the full adaptive probe over the drifted directions
+// (sequential on purpose — the stale set is expected to be a few links, and
+// serial probing keeps each measurement uncontended by the others), patch
+// the profile, and validate it.
+func finishReprobe(peers []*Peer, pf *profile.Profile, opts ProbeOptions, rep *ReprobeReport, stale []freshDir, start time.Time) (*ReprobeReport, error) {
 	sort.Slice(stale, func(a, b int) bool {
 		if stale[a].d.From != stale[b].d.From {
 			return stale[a].d.From < stale[b].d.From
@@ -105,9 +186,6 @@ func ReprobeStale(peers []*Peer, pf *profile.Profile, opts ProbeOptions, driftTo
 	opts.Registry.Counter("probe_reprobe_screened_total").Add(int64(rep.Screened))
 	opts.Registry.Counter("probe_reprobe_stale_total").Add(int64(len(stale)))
 
-	// Phase two: full adaptive re-probe of the drifted directions only.
-	// Sequential on purpose — the stale set is expected to be a few links,
-	// and serial probing keeps each measurement uncontended by the others.
 	for _, f := range stale {
 		r, err := probeDirection(peers, f.d.From, f.d.To, opts)
 		if err != nil {

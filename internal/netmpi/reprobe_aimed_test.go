@@ -1,0 +1,93 @@
+package netmpi
+
+import (
+	"testing"
+	"time"
+
+	"topobarrier/internal/profile"
+)
+
+// TestReprobeDirectionsAimedScreen pins the aimed re-probe: it screens
+// exactly the caller's (deduplicated) implicated set, never the whole mesh,
+// and only directions that actually drifted get the full probe budget.
+func TestReprobeDirectionsAimedScreen(t *testing.T) {
+	const p = 4
+	peers, err := LoopbackMesh(p, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	opts := ProbeOptions{MaxIters: 3, StableK: 2, Deadline: 10 * time.Second}
+	pf, _, err := ProbeProfileOpts(peers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh profile screened against itself within a generous tolerance:
+	// both directions screened, nothing stale, profile untouched.
+	o01, l01 := pf.O.At(0, 1), pf.L.At(0, 1)
+	rep, err := ReprobeDirections(peers, pf, opts, 1000, []Direction{{0, 1}, {2, 3}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Screened != 2 {
+		t.Errorf("screened %d directions, want 2 (deduplicated aim set)", rep.Screened)
+	}
+	if len(rep.Stale) != 0 {
+		t.Errorf("stale %v under a huge tolerance", rep.Stale)
+	}
+	if pf.O.At(0, 1) != o01 || pf.L.At(0, 1) != l01 {
+		t.Error("profile patched for a direction within tolerance")
+	}
+
+	// Force the 0→1 entry to be absurdly stale: the aimed pass must fully
+	// re-probe exactly that direction and patch the profile back to reality.
+	pf.O.Set(0, 1, 10.0) // 10 seconds of overhead never survives a screen
+	rep, err = ReprobeDirections(peers, pf, opts, 0.5, []Direction{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Screened != 1 || len(rep.Stale) != 1 || rep.Stale[0] != (Direction{0, 1}) {
+		t.Fatalf("aimed pass screened %d, stale %v; want 1 and [0→1]", rep.Screened, rep.Stale)
+	}
+	if got := pf.O.At(0, 1); got >= 1 {
+		t.Errorf("stale O[0][1] not repaired: %g", got)
+	}
+	if rep.FullSamples == 0 || rep.ScreenSamples == 0 {
+		t.Errorf("sample counters empty: %+v", rep)
+	}
+	if err := pf.Validate(); err != nil {
+		t.Errorf("patched profile invalid: %v", err)
+	}
+}
+
+// TestReprobeDirectionsValidation pins the argument contract.
+func TestReprobeDirectionsValidation(t *testing.T) {
+	peers, err := LoopbackMesh(3, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseMesh(peers)
+	opts := ProbeOptions{MaxIters: 2, Deadline: 5 * time.Second}
+	pf, _, err := ProbeProfileOpts(peers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]Direction{
+		"empty set":  {},
+		"diagonal":   {{1, 1}},
+		"from range": {{-1, 0}},
+		"to range":   {{0, 3}},
+	}
+	for name, dirs := range cases {
+		if _, err := ReprobeDirections(peers, pf, opts, 0.5, dirs); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ReprobeDirections(peers, profile.New("wrong", 5), opts, 0.5, []Direction{{0, 1}}); err == nil {
+		t.Error("mismatched profile accepted")
+	}
+	if _, err := ReprobeDirections(peers, pf, opts, 0, []Direction{{0, 1}}); err == nil {
+		t.Error("non-positive tolerance accepted")
+	}
+}

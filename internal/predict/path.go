@@ -1,0 +1,80 @@
+package predict
+
+import "topobarrier/internal/sched"
+
+// PathStep is one step of the predicted critical path: what determined the
+// completion of stage Stage at rank To. From != To means the arrival of the
+// signal From→To was the binding constraint (a message hop of the chain);
+// From == To means the rank's own send-batch drain dominated and the chain
+// stays local for the stage.
+type PathStep struct {
+	Stage    int
+	From, To int
+	// At is the predicted completion time of the stage at To — the same
+	// value Timeline reports at out[Stage][To].
+	At float64
+}
+
+// CriticalPath replays the Timeline recurrence while tracking, for every
+// (stage, rank) cell, the predecessor that realized its max — and then walks
+// that predecessor chain back from the rank whose final-stage completion is
+// the schedule's predicted Cost. The result is ordered earliest stage first
+// and always has exactly NumStages steps: the chain of batch drains and
+// message arrivals the model says the barrier's completion time is made of.
+// Ties resolve the way Cost resolves them (own batch first, then lower
+// sender rank), so the reported chain is deterministic.
+func (pd *Predictor) CriticalPath(s *sched.Schedule) []PathStep {
+	pd.check(s)
+	numStages := s.NumStages()
+	if numStages == 0 {
+		return nil
+	}
+	t := make([]float64, s.P)
+	next := make([]float64, s.P)
+	times := make([][]float64, numStages)
+	pred := make([][]int, numStages)
+	for k, st := range s.Stages {
+		ready := pd.stageReady(k)
+		dur := make([]float64, s.P)
+		for i := 0; i < s.P; i++ {
+			dur[i] = pd.BatchCost(i, st.Row(i), ready)
+		}
+		pk := make([]int, s.P)
+		for i := 0; i < s.P; i++ {
+			next[i] = t[i] + dur[i]
+			pk[i] = i
+		}
+		for m := 0; m < s.P; m++ {
+			arr := t[m] + dur[m]
+			for _, i := range st.Row(m) {
+				if arr > next[i] {
+					next[i] = arr
+					pk[i] = m
+				}
+			}
+		}
+		if pd.StageOverhead > 0 {
+			for i := 0; i < s.P; i++ {
+				next[i] += pd.StageOverhead
+			}
+		}
+		times[k] = append([]float64(nil), next...)
+		pred[k] = pk
+		t, next = next, t
+	}
+
+	last := numStages - 1
+	final := 0
+	for i := 1; i < s.P; i++ {
+		if times[last][i] > times[last][final] {
+			final = i
+		}
+	}
+	steps := make([]PathStep, numStages)
+	r := final
+	for k := last; k >= 0; k-- {
+		steps[k] = PathStep{Stage: k, From: pred[k][r], To: r, At: times[k][r]}
+		r = pred[k][r]
+	}
+	return steps
+}

@@ -26,6 +26,7 @@ import (
 
 	"topobarrier/internal/analyze"
 	"topobarrier/internal/core"
+	"topobarrier/internal/critpath"
 	"topobarrier/internal/netmpi"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/profile"
@@ -80,6 +81,14 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Tracer, when non-nil, records retune.check / retune.replan spans.
 	Tracer *telemetry.Tracer
+	// Flight, when non-nil, is the critpath flight recorder wrapped around
+	// the tracer the mesh's peers record message spans into. On every
+	// drift trigger the controller dumps it (reason "drift") and asks the
+	// traced messages which directions they implicate: when the per-link
+	// blame names suspects, the re-probe screens only those directions
+	// (netmpi.ReprobeDirections) instead of all P·(P−1), and falls back to
+	// the full screen when the blame is silent.
+	Flight *critpath.FlightRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +118,10 @@ type Decision struct {
 	Observed, Predicted, Drift float64
 	// Triggered reports whether Drift exceeded the tolerance.
 	Triggered bool
+	// Implicated is the blame-derived direction set the re-probe was aimed
+	// at; nil when no flight recorder was attached or the blame named no
+	// suspects and the screen covered the whole mesh.
+	Implicated []netmpi.Direction
 	// Reprobe describes the two-phase re-probe (nil unless triggered); its
 	// Stale list is exactly the set of fully re-probed directions.
 	Reprobe *netmpi.ReprobeReport
@@ -195,6 +208,7 @@ func New(peers []*netmpi.Peer, eps *netmpi.Epochs, s *sched.Schedule, pf *profil
 		c.lastCount[r] = c.hist[r].Count()
 		c.lastSum[r] = c.hist[r].Sum()
 	}
+	opts.Flight.SetModel(pd, s)
 	return c, nil
 }
 
@@ -267,6 +281,9 @@ func (c *Controller) Check() (Decision, error) {
 			c.lastCount[r] = c.hist[r].Count()
 			c.lastSum[r] = c.hist[r].Sum()
 		}
+		// Keep the flight windows aligned with the observation windows: the
+		// contaminated spans go into their own (discarded-for-blame) window.
+		c.opts.Flight.Cut("settle")
 		return d, nil
 	}
 
@@ -279,14 +296,41 @@ func (c *Controller) Check() (Decision, error) {
 	d.Drift = relDrift(c.predicted, observed)
 	c.driftGauge.Set(d.Drift)
 	if d.Drift <= c.opts.DriftTol {
+		// The window was consumed quietly; cut the matching flight window so
+		// a later trigger blames only the spans of the window that drifted,
+		// not the healthy history (floors are minima — old healthy
+		// observations would mask a link that got slow later).
+		c.opts.Flight.Cut("check")
 		return d, nil
 	}
 	d.Triggered = true
 	c.triggers.Inc()
 
 	// Re-probe only what moved, fold it into the live profile, and refresh
-	// the cache entry so the next cold start inherits reality.
-	rep, err := netmpi.ReprobeStale(c.peers, c.pf, c.opts.Probe, c.opts.DriftTol)
+	// the cache entry so the next cold start inherits reality. With a
+	// flight recorder attached, the traced messages of the drifted window
+	// aim the screen — only the directions whose observed delivery floor
+	// drifted from the model get measured — and the drift moment is
+	// preserved on disk before the mesh is touched.
+	var rep *netmpi.ReprobeReport
+	var err error
+	if c.opts.Flight != nil {
+		links := c.opts.Flight.ImplicatedFresh(c.pf, c.opts.DriftTol, "drift")
+		if _, derr := c.opts.Flight.Dump("drift"); derr != nil {
+			return d, fmt.Errorf("retune: flight dump: %w", derr)
+		}
+		if len(links) > 0 {
+			dirs := make([]netmpi.Direction, len(links))
+			for i, l := range links {
+				dirs[i] = netmpi.Direction{From: l.From, To: l.To}
+			}
+			d.Implicated = dirs
+			rep, err = netmpi.ReprobeDirections(c.peers, c.pf, c.opts.Probe, c.opts.DriftTol, dirs)
+		}
+	}
+	if rep == nil && err == nil {
+		rep, err = netmpi.ReprobeStale(c.peers, c.pf, c.opts.Probe, c.opts.DriftTol)
+	}
 	if err != nil {
 		return d, fmt.Errorf("retune: re-probe: %w", err)
 	}
@@ -319,6 +363,7 @@ func (c *Controller) Check() (Decision, error) {
 	c.settling = true
 	d.Swapped, d.Version, d.Predicted = true, v, cost
 	c.swaps.Inc()
+	c.opts.Flight.SetModel(&predict.Predictor{Prof: c.pf, Policy: c.opts.Policy, StageOverhead: c.opts.StageOverhead}, s)
 	return d, nil
 }
 

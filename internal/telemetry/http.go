@@ -19,14 +19,23 @@ var (
 	publishReg  *Registry
 )
 
+// Route is an extra handler mounted onto the exposition mux by Handler or
+// Serve, so subsystems (for example critpath's /debug/critpath) can expose
+// debug endpoints without telemetry importing them.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the exposition mux for one registry:
 //
 //	/metrics      Prometheus text format (counters, gauges, histograms)
 //	/debug/vars   expvar JSON (cmdline, memstats, and the registry snapshot)
 //	/debug/pprof  the standard profile index (cpu, heap, goroutine, ...)
 //
-// The registry snapshot appears under the expvar key "telemetry".
-func Handler(reg *Registry) http.Handler {
+// The registry snapshot appears under the expvar key "telemetry". Any extra
+// routes are mounted verbatim.
+func Handler(reg *Registry, extra ...Route) http.Handler {
 	publishMu.Lock()
 	publishReg = reg
 	publishMu.Unlock()
@@ -53,19 +62,23 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "topobarrier telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
 // Serve starts the exposition server on addr (for example "127.0.0.1:9774",
-// or ":0" to pick a free port) in a background goroutine and returns the
-// resolved listen address. The server lives until the process exits — the
-// CLIs serve scrapes for exactly as long as the run they observe.
-func Serve(addr string, reg *Registry) (string, error) {
+// or ":0" to pick a free port) in a background goroutine. It returns the
+// resolved listen address and a shutdown function that closes the listener
+// and any open connections; callers that outlive their run (tests, e2e
+// harnesses) must call it so the port is released before process exit.
+func Serve(addr string, reg *Registry, extra ...Route) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, extra...)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), srv.Close, nil
 }

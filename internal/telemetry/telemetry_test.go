@@ -149,10 +149,11 @@ func TestLabel(t *testing.T) {
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("served_total").Add(3)
-	addr, err := Serve("127.0.0.1:0", reg)
+	addr, stop, err := Serve("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer stop()
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {

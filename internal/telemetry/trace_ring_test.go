@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeTraceGolden pins the exact JSON of the Chrome trace export:
+// name escaping, rank→tid mapping (negative ranks land on tid 0), the ns→µs
+// conversion of ts/dur, and which attributes appear in args. The args map
+// marshals with sorted keys, so the encoding is deterministic.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	evs := []SpanEvent{
+		// Quotes, backslash, and angle brackets in the name must survive
+		// escaping.
+		{Name: `barrier.stage:"quad" <\>`, Rank: 1, Stage: 0, Peer: -1, Tag: -1,
+			Start: 1500 * time.Nanosecond, Dur: 2500 * time.Nanosecond},
+		// Full attribute set: stage, peer, and tag all ride along as args.
+		{Name: "barrier.send:tcp", Rank: 0, Stage: 2, Peer: 3, Tag: 1026,
+			Start: 10 * time.Microsecond, Dur: 10 * time.Nanosecond},
+		// No attributes at all: args must be omitted entirely, and a negative
+		// rank cannot produce a negative tid.
+		{Name: "probe.rtt", Rank: -1, Stage: -1, Peer: -1, Tag: -1,
+			Start: 2 * time.Millisecond, Dur: 1500 * time.Microsecond},
+		// Tag 0 is a valid tag and must be exported even without a stage.
+		{Name: "barrier.recv:shm", Rank: 7, Stage: -1, Peer: 4, Tag: 0,
+			Start: 0, Dur: 333 * time.Nanosecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceEvents(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+	// And it must still be a loadable trace document.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]int `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != len(evs) || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace shape: %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+	if ce := doc.TraceEvents[0]; ce.Ts != 1.5 || ce.Dur != 2.5 {
+		t.Errorf("ns→µs conversion: ts %v dur %v, want 1.5 and 2.5", ce.Ts, ce.Dur)
+	}
+	if ce := doc.TraceEvents[1]; ce.Args["stage"] != 2 || ce.Args["peer"] != 3 || ce.Args["tag"] != 1026 {
+		t.Errorf("args of the full-attribute event: %v", ce.Args)
+	}
+	if ce := doc.TraceEvents[2]; ce.TID != 0 || ce.Args != nil {
+		t.Errorf("attribute-free event: tid %d args %v, want 0 and none", ce.TID, ce.Args)
+	}
+	if ce := doc.TraceEvents[3]; ce.Args["tag"] != 0 || ce.Args["peer"] != 4 {
+		t.Errorf("tag 0 must be exported: %v", ce.Args)
+	}
+}
+
+// TestBeginTagRecordsTag pins the span attribute plumbing: Begin records
+// tag −1, BeginTag records the given tag verbatim.
+func TestBeginTagRecordsTag(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("a", 1, 2, 3).End()
+	tr.BeginTag("b", 1, 2, 3, 77).End()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Tag != -1 {
+		t.Errorf("Begin recorded tag %d, want -1", evs[0].Tag)
+	}
+	if evs[1].Tag != 77 {
+		t.Errorf("BeginTag recorded tag %d, want 77", evs[1].Tag)
+	}
+}
+
+func record(tr *Tracer, names ...string) {
+	for _, n := range names {
+		tr.Begin(n, 0, -1, -1).End()
+	}
+}
+
+func spanNames(evs []SpanEvent) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTracerCapRing pins the bounded-memory satellite: with a cap set the
+// tracer keeps the most recent n spans, evicts oldest-first, and counts
+// every eviction.
+func TestTracerCapRing(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCap(3)
+	record(tr, "a", "b", "c", "d", "e")
+	if got := spanNames(tr.Events()); !eqStrings(got, []string{"c", "d", "e"}) {
+		t.Errorf("capped events %v, want the 3 most recent", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", tr.Dropped())
+	}
+	// Shrinking the cap evicts existing spans oldest-first.
+	tr.SetCap(2)
+	if got := spanNames(tr.Events()); !eqStrings(got, []string{"d", "e"}) {
+		t.Errorf("after shrink: %v", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped %d after shrink, want 3", tr.Dropped())
+	}
+	// Lifting the cap restores unbounded recording; nothing else drops.
+	tr.SetCap(0)
+	record(tr, "f", "g", "h", "i")
+	if got := spanNames(tr.Events()); !eqStrings(got, []string{"d", "e", "f", "g", "h", "i"}) {
+		t.Errorf("after uncap: %v", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped %d after uncap, want still 3", tr.Dropped())
+	}
+}
+
+// TestTracerTakeDrains pins Take's contract: one atomic snapshot-and-clear,
+// with the epoch and the drop counter preserved.
+func TestTracerTakeDrains(t *testing.T) {
+	tr := NewTracer()
+	epoch := tr.Epoch()
+	tr.SetCap(2)
+	record(tr, "a", "b", "c")
+	got := tr.Take()
+	if !eqStrings(spanNames(got), []string{"b", "c"}) {
+		t.Errorf("take returned %v", spanNames(got))
+	}
+	if len(tr.Events()) != 0 {
+		t.Errorf("events survive a take: %v", spanNames(tr.Events()))
+	}
+	if more := tr.Take(); len(more) != 0 {
+		t.Errorf("second take returned %v", spanNames(more))
+	}
+	if tr.Dropped() != 1 {
+		t.Errorf("take reset the drop counter: %d", tr.Dropped())
+	}
+	if !tr.Epoch().Equal(epoch) {
+		t.Error("take moved the epoch")
+	}
+	// The ring must keep working after the drain.
+	record(tr, "d", "e", "f")
+	if got := spanNames(tr.Events()); !eqStrings(got, []string{"e", "f"}) {
+		t.Errorf("ring after drain: %v", got)
+	}
+}
+
+// TestNilTracerNewMethods extends the nil-receiver contract to the ring and
+// drain API.
+func TestNilTracerNewMethods(t *testing.T) {
+	var tr *Tracer
+	tr.SetCap(4)
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer reports drops")
+	}
+	if tr.Take() != nil {
+		t.Error("nil tracer take returned events")
+	}
+	if !tr.Epoch().IsZero() {
+		t.Error("nil tracer has an epoch")
+	}
+	tr.BeginTag("x", 0, 0, 0, 0).End() // must not panic
+}
+
+// TestTracerConcurrentOps hammers Begin/End against Take, Reset, Events,
+// SetCap, and the trace writer from concurrent goroutines; the race detector
+// is the assertion.
+func TestTracerConcurrentOps(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCap(64)
+	var rec sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < 500; i++ {
+				tr.BeginTag("span", w, i%3, -1, i).End()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var mut sync.WaitGroup
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Take()
+			tr.Events()
+			tr.Reset()
+			tr.SetCap(16)
+			tr.SetCap(64)
+			tr.Dropped()
+			tr.WriteChromeTrace(new(bytes.Buffer))
+		}
+	}()
+	rec.Wait()
+	close(stop)
+	mut.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeShutdown pins the satellite fix: Serve returns a shutdown func
+// that actually releases the listener.
+func TestServeShutdown(t *testing.T) {
+	reg := NewRegistry()
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still serving after shutdown")
+	}
+}
