@@ -7,8 +7,18 @@
 //
 //	searchbarrier -profile profile.json [-seed-alg hybrid|tree|dissemination|linear]
 //	              [-steps N] [-restarts N] [-workers N] [-budget N] [-rngseed N]
+//	              [-cluster-prune] [-batch N]
 //	              [-progress] [-telemetry addr] [-o schedule.json]
+//	searchbarrier -synthetic-p 1024 [-synthetic-nodes N] [-budget N] ...
 //	searchbarrier -profile tiny.json -exhaustive [-stages N]
+//
+// -synthetic-p skips the profile file and searches against the noise-free
+// profile of a synthetic hierarchical cluster (fabric.ScaleClusterFabric) —
+// the large-P scaling configuration. -cluster-prune biases mutation
+// proposals by the profile's SSS cluster structure (intra-cluster and
+// leader-to-leader sends dominate), and -batch N keeps only the best of
+// every N candidates; both preserve the bit-identical-for-any-workers
+// guarantee.
 //
 // -telemetry serves live search metrics (candidates/sec, transposition-table
 // hit rate, elite adoptions, per-restart progress) over HTTP for the run's
@@ -28,10 +38,12 @@ import (
 	"time"
 
 	"topobarrier/internal/core"
+	"topobarrier/internal/fabric"
 	"topobarrier/internal/predict"
 	"topobarrier/internal/profile"
 	"topobarrier/internal/sched"
 	"topobarrier/internal/search"
+	"topobarrier/internal/sss"
 	"topobarrier/internal/telemetry"
 )
 
@@ -49,13 +61,28 @@ func main() {
 		stages     = flag.Int("stages", 2, "stage budget for exhaustive search")
 		out        = flag.String("o", "", "write the best schedule as JSON")
 
+		synthP     = flag.Int("synthetic-p", 0, "search against the noise-free profile of a synthetic hierarchical cluster with this many ranks instead of -profile")
+		synthNodes = flag.Int("synthetic-nodes", 0, "with -synthetic-p, node count of the synthetic cluster (0 = about one node per 32 ranks)")
+		prune      = flag.Bool("cluster-prune", false, "bias mutation proposals by the profile's SSS cluster structure")
+		batch      = flag.Int("batch", 0, "evaluate mutations in best-of-N batches (0 or 1 = single-candidate steps)")
+
 		telemetryAddr = flag.String("telemetry", "", "serve search metrics over HTTP for the run's duration (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
-	pf, err := profile.Load(*profPath)
-	if err != nil {
-		fatal(err)
+	var pf *profile.Profile
+	if *synthP > 0 {
+		f, err := fabric.ScaleClusterFabric(*synthP, syntheticNodes(*synthP, *synthNodes), 1)
+		if err != nil {
+			fatal(err)
+		}
+		pf = f.TrueProfile()
+	} else {
+		var err error
+		pf, err = profile.Load(*profPath)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	pd := predict.New(pf)
 
@@ -72,6 +99,7 @@ func main() {
 
 	var res *search.Result
 	if *exhaustive {
+		var err error
 		res, err = search.Exhaustive(pd, *stages, false)
 		if err != nil {
 			fatal(err)
@@ -85,7 +113,14 @@ func main() {
 		before := pd.Cost(seed)
 		opts := search.AnnealOptions{
 			Seed: *rngseed, Steps: *steps, Restarts: *restarts,
-			Workers: *workers, Budget: *budget, Telemetry: reg,
+			Workers: *workers, Budget: *budget, BatchSize: *batch,
+			Telemetry: reg,
+		}
+		if *prune {
+			for _, leaf := range sss.Tree(pf, sss.Options{}).Leaves() {
+				opts.Clusters = append(opts.Clusters, leaf.Ranks)
+			}
+			fmt.Fprintf(os.Stderr, "cluster-pruned proposals over %d clusters\n", len(opts.Clusters))
 		}
 		if *progress {
 			opts.Progress = func(pr search.Progress) {
@@ -139,6 +174,19 @@ func seedSchedule(pf *profile.Profile, alg string) (*sched.Schedule, error) {
 	default:
 		return nil, fmt.Errorf("unknown seed algorithm %q", alg)
 	}
+}
+
+// syntheticNodes resolves the node count of the synthetic scale cluster:
+// explicit when given, otherwise about one dual-socket node per 32 ranks.
+func syntheticNodes(p, nodes int) int {
+	if nodes > 0 {
+		return nodes
+	}
+	n := (p + 31) / 32
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 func fatal(err error) {

@@ -8,10 +8,19 @@
 //
 //	tunebarrier -profile profile.json [-o schedule.json] [-sparseness F]
 //	            [-maxdepth N] [-builders paper|extended] [-dump]
-//	            [-refine N] [-telemetry addr] [-trace-out file.json]
+//	            [-refine N] [-refine-batch N] [-telemetry addr]
+//	            [-trace-out file.json]
 //	            [-profile-cache DIR] [-fingerprint PREFIX]
 //	            [-probe-net P] [-transport tcp|hybrid] [-colocate SPEC]
 //	            [-probe-iters N] [-drift-tol F]
+//	tunebarrier -synthetic-p 1024 [-synthetic-nodes N] [-refine N] ...
+//
+// -synthetic-p tunes against the noise-free profile of a synthetic
+// hierarchical cluster (fabric.ScaleClusterFabric) instead of a stored or
+// probed one — the large-P scaling configuration, where the sparse-frontier
+// knowledge kernels and cluster-pruned refinement keep a budgeted tune in
+// seconds. -refine-batch makes the refinement keep only the best of every N
+// candidate mutations.
 //
 // -telemetry serves the pipeline's metrics (tune_predicted_cost_seconds and,
 // with -refine, the refinement search's counters) over HTTP for the run's
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"topobarrier/internal/core"
+	"topobarrier/internal/fabric"
 	"topobarrier/internal/netmpi"
 	"topobarrier/internal/profile"
 	"topobarrier/internal/sched"
@@ -52,14 +62,18 @@ import (
 
 func main() {
 	var (
-		profPath   = flag.String("profile", "profile.json", "profile file written by profilecluster")
-		out        = flag.String("o", "", "write the composed schedule as JSON")
-		sparseness = flag.Float64("sparseness", sss.DefaultSparseness, "SSS sparseness fraction of diameter")
-		maxdepth   = flag.Int("maxdepth", 0, "clustering recursion bound (0 = unlimited)")
-		builders   = flag.String("builders", "paper", "component set: paper or extended")
-		dump       = flag.Bool("dump", false, "print the stage matrices (Figure 10 style)")
-		refine     = flag.Int("refine", 0, "follow composition with N candidate evaluations of local-search refinement")
-		rngseed    = flag.Uint64("rngseed", 1, "refinement randomness seed")
+		profPath    = flag.String("profile", "profile.json", "profile file written by profilecluster")
+		out         = flag.String("o", "", "write the composed schedule as JSON")
+		sparseness  = flag.Float64("sparseness", sss.DefaultSparseness, "SSS sparseness fraction of diameter")
+		maxdepth    = flag.Int("maxdepth", 0, "clustering recursion bound (0 = unlimited)")
+		builders    = flag.String("builders", "paper", "component set: paper or extended")
+		dump        = flag.Bool("dump", false, "print the stage matrices (Figure 10 style)")
+		refine      = flag.Int("refine", 0, "follow composition with N candidate evaluations of local-search refinement")
+		refineBatch = flag.Int("refine-batch", 0, "refinement keeps the best of every N candidate mutations (0 or 1 = single-candidate steps)")
+		rngseed     = flag.Uint64("rngseed", 1, "refinement randomness seed")
+
+		synthP     = flag.Int("synthetic-p", 0, "tune against the noise-free profile of a synthetic hierarchical cluster with this many ranks instead of -profile")
+		synthNodes = flag.Int("synthetic-nodes", 0, "with -synthetic-p, node count of the synthetic cluster (0 = about one node per 32 ranks)")
 
 		telemetryAddr = flag.String("telemetry", "", "serve pipeline metrics over HTTP for the run's duration (e.g. 127.0.0.1:9090)")
 		traceOut      = flag.String("trace-out", "", "write per-phase pipeline spans as Chrome trace-event JSON")
@@ -76,7 +90,18 @@ func main() {
 	flag.Parse()
 
 	var pf *profile.Profile
-	if *probeNet > 0 {
+	if *synthP > 0 {
+		nodes := *synthNodes
+		if nodes <= 0 {
+			nodes = (*synthP + 31) / 32
+		}
+		f, err := fabric.ScaleClusterFabric(*synthP, nodes, 1)
+		if err != nil {
+			fatal(err)
+		}
+		pf = f.TrueProfile()
+		fmt.Fprintf(os.Stderr, "synthetic scale cluster: P=%d over %d nodes\n", *synthP, nodes)
+	} else if *probeNet > 0 {
 		var cache *profile.Cache
 		if *cacheDir != "" {
 			cache = &profile.Cache{Dir: *cacheDir}
@@ -105,9 +130,10 @@ func main() {
 		}
 	}
 	opts := core.Options{
-		Clustering: sss.Options{Sparseness: *sparseness, MaxDepth: *maxdepth},
-		Refine:     *refine,
-		RefineSeed: *rngseed,
+		Clustering:  sss.Options{Sparseness: *sparseness, MaxDepth: *maxdepth},
+		Refine:      *refine,
+		RefineSeed:  *rngseed,
+		RefineBatch: *refineBatch,
 	}
 	if *telemetryAddr != "" {
 		opts.Telemetry = telemetry.NewRegistry()

@@ -265,11 +265,13 @@ func Analyze(s *sched.Schedule, opts Options) *Report {
 	var fs []Finding
 	fs = append(fs, structuralLints(s, opts)...)
 
-	// Eq. 3 verdict and, for non-barriers, the witnesses.
-	ks := s.Knowledge()
-	rep.Barrier = s.P == 1 || (len(ks) > 0 && ks[len(ks)-1].AllSet())
+	// Eq. 3 verdict through the frontier-aware fast path. The dense
+	// per-stage knowledge matrices are materialised only for non-barriers,
+	// where the witness search reads them — for a verified P=1024 schedule
+	// they alone would dwarf the cost of the whole analysis.
+	rep.Barrier = s.IsBarrier()
 	if !rep.Barrier {
-		fs = append(fs, witnesses(s, ks, maxWitnesses(opts))...)
+		fs = append(fs, witnesses(s, s.Knowledge(), maxWitnesses(opts))...)
 	} else {
 		if !opts.SkipRedundancy {
 			fs = append(fs, redundancy(s, opts)...)

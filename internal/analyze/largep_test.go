@@ -1,0 +1,141 @@
+package analyze
+
+import (
+	"testing"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/sched"
+	"topobarrier/internal/stats"
+)
+
+// TestClosureCheckerTransposedMatchesDense drives both closure orientations
+// over random fault sets of a P=64 schedule (at the transposed threshold) and
+// requires identical verdicts, lateness observations, and witness pairs.
+func TestClosureCheckerTransposedMatchesDense(t *testing.T) {
+	p := transposedClosureMinP
+	s := sched.Dissemination(p)
+	// Thin the pattern so some fault sets actually break the closure.
+	s.Stages[1].Set(1, 3, false)
+	ct := newClosureChecker(s)
+	cd := newClosureChecker(s)
+	cd.transposed = false
+	if !ct.transposed {
+		t.Fatalf("P=%d checker should run transposed", p)
+	}
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(3)
+		faults := make([]int, 0, m)
+		seen := map[int]bool{}
+		for len(faults) < m {
+			f := rng.Intn(p)
+			if !seen[f] {
+				seen[f] = true
+				faults = append(faults, f)
+			}
+		}
+		okT, lastT := ct.closed(faults)
+		okD, lastD := cd.closed(faults)
+		if okT != okD || lastT != lastD {
+			t.Fatalf("faults %v: transposed (%v, %d) vs dense (%v, %d)", faults, okT, lastT, okD, lastD)
+		}
+		if !okT {
+			pt := ct.stalledPairs(faults, 8)
+			// Re-establish dense state (closed swaps scratch matrices).
+			cd.closed(faults)
+			pd := cd.stalledPairs(faults, 8)
+			if len(pt) != len(pd) {
+				t.Fatalf("faults %v: %d vs %d stalled pairs", faults, len(pt), len(pd))
+			}
+			for i := range pt {
+				if pt[i] != pd[i] {
+					t.Fatalf("faults %v: witness %d differs: %v vs %v", faults, i, pt[i], pd[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArticulationTwoBFSMatchesAllPairs pins the 2-BFS strong-connectivity
+// probe against the naive all-seeds formulation it replaced.
+func TestArticulationTwoBFSMatchesAllPairs(t *testing.T) {
+	rng := stats.NewRNG(47)
+	for _, p := range []int{5, 9, 16, 33} {
+		for trial := 0; trial < 30; trial++ {
+			s := sched.New("rand", p)
+			stage := sched.Dissemination(p).Stages[0].Clone()
+			for n := 0; n < p; n++ {
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i != j {
+					stage.Set(i, j, rng.Intn(2) == 0)
+				}
+			}
+			s.AddStage(stage)
+			c := newClosureChecker(s)
+			union := unionMatrix(s)
+			unionT := union.T()
+			for f := 0; f < p; f++ {
+				got := c.articulation(union, unionT, f)
+				want := articulationAllPairs(c, union, f)
+				if got != want {
+					t.Fatalf("P=%d trial %d rank %d: 2-BFS %v, all-pairs %v\n%s", p, trial, f, got, want, s)
+				}
+			}
+		}
+	}
+}
+
+// articulationAllPairs is the replaced formulation, kept as the test oracle:
+// from every survivor seed, forward reachability must cover all survivors.
+func articulationAllPairs(c *closureChecker, union *mat.Bool, f int) bool {
+	silent := make([]uint64, c.words)
+	silent[f/64] |= 1 << (uint(f) % 64)
+	seed := make([]uint64, c.words)
+	for i := 0; i < c.s.P; i++ {
+		if i == f {
+			continue
+		}
+		for w := range seed {
+			seed[w] = 0
+		}
+		seed[i/64] |= 1 << (uint(i) % 64)
+		union.ReachableFrom(seed, silent)
+		if !coversAllExcept(seed, silent, c.s.P) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCertifyLargePBudget runs the certifier at P=256 in pruned mode — the
+// configuration the articulation and transposed-closure speedups exist for —
+// and requires its verdict to honour the honesty contract against ground
+// truth.
+func TestCertifyLargePBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-P certification in -short mode")
+	}
+	p := 256
+	// 1-fault resilient, so size 1 passes exhaustively and size 2 must go
+	// through the pruned candidate search (C(256,2) ≫ budget).
+	s := sched.SymmetricDissemination(p)
+	res := CertifyK(s, 2, ResilienceOptions{MaxSubsets: 1024})
+	if res.Exhaustive {
+		t.Fatalf("P=%d k=2 cannot be exhaustive within 1024 subsets", p)
+	}
+	if res.SubsetsChecked > 1024 {
+		t.Fatalf("checked %d subsets, budget was 1024", res.SubsetsChecked)
+	}
+	if res.Certified {
+		return // non-exhaustive pass keeps its honesty flag; nothing to verify
+	}
+	if !brokenBy(s, res.Counterexample) {
+		t.Fatalf("counterexample %v does not break the schedule", res.Counterexample)
+	}
+	for i := range res.Counterexample {
+		sub := append(append([]int(nil), res.Counterexample[:i]...), res.Counterexample[i+1:]...)
+		if len(sub) > 0 && brokenBy(s, sub) {
+			t.Fatalf("counterexample %v not minimal: %v breaks it too", res.Counterexample, sub)
+		}
+	}
+}

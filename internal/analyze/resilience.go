@@ -118,6 +118,12 @@ func CertifyK(s *sched.Schedule, k int, opts ResilienceOptions) *Resilience {
 	return res
 }
 
+// transposedClosureMinP selects the receiver-wise transposed propagation
+// kernel for fault-set closure checks. Above it the per-stage work drops from
+// the dense O(P³/64) row spread to O(signals·P/64) — the difference between a
+// P≥256 certification that fits its budget and one that does not.
+const transposedClosureMinP = 64
+
 // closureChecker evaluates survivor closure for fault sets of one schedule,
 // reusing its scratch knowledge matrices across checks.
 type closureChecker struct {
@@ -127,6 +133,12 @@ type closureChecker struct {
 	identity *mat.Bool
 	silent   []uint64
 	checked  int
+	// transposed selects the receiver-wise kernel: k then holds the
+	// knowledge matrix transposed (row j = what rank j knows). The closure
+	// condition quantifies symmetrically over survivor pairs, so
+	// survivorsClosed reads either orientation unchanged; only the witness
+	// listing has to swap indices.
+	transposed bool
 	// lateness[f] scores how thin the closure was with only rank f silent:
 	// the number of survivor rows that were completed only by the final
 	// stage. Filled by the size-1 enumeration, consumed by pruning.
@@ -136,13 +148,14 @@ type closureChecker struct {
 func newClosureChecker(s *sched.Schedule) *closureChecker {
 	id := mat.Identity(s.P)
 	return &closureChecker{
-		s:        s,
-		words:    id.WordsPerRow(),
-		k:        mat.NewBool(s.P),
-		next:     mat.NewBool(s.P),
-		identity: id,
-		silent:   make([]uint64, id.WordsPerRow()),
-		lateness: make([]int, s.P),
+		s:          s,
+		words:      id.WordsPerRow(),
+		k:          mat.NewBool(s.P),
+		next:       mat.NewBool(s.P),
+		identity:   id,
+		silent:     make([]uint64, id.WordsPerRow()),
+		transposed: s.P >= transposedClosureMinP,
+		lateness:   make([]int, s.P),
 	}
 }
 
@@ -161,10 +174,14 @@ func (c *closureChecker) setFaults(faults []int) {
 func (c *closureChecker) closed(faults []int) (ok bool, lastIncomplete int) {
 	c.setFaults(faults)
 	c.checked++
-	c.k.CopyFrom(c.identity)
+	c.k.CopyFrom(c.identity) // symmetric, so it also seeds the transposed run
 	lastIncomplete = -1
 	for a, st := range c.s.Stages {
-		mat.PropagateSilencedInto(c.next, c.k, st, c.silent)
+		if c.transposed {
+			mat.PropagateTSilencedInto(c.next, c.k, st, c.silent)
+		} else {
+			mat.PropagateSilencedInto(c.next, c.k, st, c.silent)
+		}
 		c.k, c.next = c.next, c.k
 		// Knowledge is monotone: once the survivors close, they stay closed.
 		if c.survivorsClosed() {
@@ -197,13 +214,22 @@ func (c *closureChecker) stalledPairs(faults []int, max int) []Pair {
 			continue
 		}
 		for j := 0; j < c.s.P && len(out) < max; j++ {
-			if c.silent[j/64]&(1<<(uint(j)%64)) != 0 || c.k.At(i, j) {
+			if c.silent[j/64]&(1<<(uint(j)%64)) != 0 || c.know(i, j) {
 				continue
 			}
 			out = append(out, Pair{From: i, To: j})
 		}
 	}
 	return out
+}
+
+// know reads knowledge entry (i, j) — rank j knows of rank i's arrival —
+// from whichever orientation the checker runs in.
+func (c *closureChecker) know(i, j int) bool {
+	if c.transposed {
+		return c.k.At(j, i)
+	}
+	return c.k.At(i, j)
 }
 
 // enumerate checks every fault set of exactly size m, filling res and
@@ -255,9 +281,10 @@ func (c *closureChecker) pruned(k, maxSubsets int, res *Resilience, maxPairs int
 	type scored struct{ rank, score int }
 	pool := make([]scored, 0, c.s.P)
 	union := unionMatrix(c.s)
+	unionT := union.T() // computed once, shared by every articulation probe
 	for f := 0; f < c.s.P; f++ {
 		score := c.lateness[f]
-		if c.articulation(union, f) {
+		if c.articulation(union, unionT, f) {
 			score += c.s.NumStages() * c.s.P // dominates any lateness score
 		}
 		pool = append(pool, scored{f, score})
@@ -338,28 +365,35 @@ func (c *closureChecker) minimise(faults []int) []int {
 }
 
 // articulation reports whether silencing rank f breaks static reachability
-// between some survivor pair in the union signal graph: from every survivor
-// seed, the reachable set (bitset BFS that never follows f's row) must cover
-// all survivors. Static disconnection implies temporal stalling, so these
-// ranks head the candidate list.
-func (c *closureChecker) articulation(union *mat.Bool, f int) bool {
+// between some survivor pair in the union signal graph. All-pairs survivor
+// reachability is equivalent to strong connectivity through any one survivor
+// s0: a forward BFS from s0 must cover every survivor, and a reverse BFS
+// (same silenced-relay rule on the transposed union) must too — then every
+// pair connects as i → s0 → j. Two bitset BFS runs per probe replace the P
+// per-seed runs of the naive formulation with identical verdicts, which is
+// what keeps candidate scoring affordable at P ≥ 256. Static disconnection
+// implies temporal stalling, so these ranks head the candidate list.
+func (c *closureChecker) articulation(union, unionT *mat.Bool, f int) bool {
 	silent := make([]uint64, c.words)
 	silent[f/64] |= 1 << (uint(f) % 64)
-	seed := make([]uint64, c.words)
-	for i := 0; i < c.s.P; i++ {
-		if i == f {
-			continue
-		}
-		for w := range seed {
-			seed[w] = 0
-		}
-		seed[i/64] |= 1 << (uint(i) % 64)
-		union.ReachableFrom(seed, silent)
-		if !coversAllExcept(seed, silent, c.s.P) {
-			return true
-		}
+	s0 := 0
+	if f == 0 {
+		s0 = 1
 	}
-	return false
+	seed := make([]uint64, c.words)
+	seed[s0/64] |= 1 << (uint(s0) % 64)
+	union.ReachableFrom(seed, silent)
+	if !coversAllExcept(seed, silent, c.s.P) {
+		return true
+	}
+	for w := range seed {
+		seed[w] = 0
+	}
+	seed[s0/64] |= 1 << (uint(s0) % 64)
+	// On the transpose, suppressing relay f's row cuts the same paths its
+	// forward sends carried: a reverse step j → m is the forward send m → j.
+	unionT.ReachableFrom(seed, silent)
+	return !coversAllExcept(seed, silent, c.s.P)
 }
 
 // coversAllExcept reports whether the bitset covers every rank outside excl.

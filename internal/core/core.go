@@ -48,6 +48,11 @@ type Options struct {
 	// RefineWorkers bounds the refinement portfolio's goroutines; 0 uses all
 	// cores. It never changes the result, only the wall-clock time.
 	RefineWorkers int
+	// RefineBatch, when above 1, makes the refinement search evaluate
+	// mutations in best-of-RefineBatch batches (search.AnnealOptions
+	// .BatchSize) — the large-P configuration, where each kept move should
+	// be the pick of several cheap cluster-pruned proposals.
+	RefineBatch int
 	// Tracer, when non-nil, records one span per pipeline phase
 	// (tune.profile, tune.compose, tune.vet, tune.refine, tune.plan) so a
 	// tuning run can be inspected in chrome://tracing. Nil keeps every span
@@ -136,8 +141,17 @@ func Tune(pf *profile.Profile, opts Options) (*Tuned, error) {
 	}
 	if opts.Refine > 0 {
 		refineSpan := opts.Tracer.Begin("tune.refine", -1, -1, -1)
+		// The SSS leaf clusters that shaped the composition also prune the
+		// refinement's proposal space (leaders are the leaf representatives,
+		// Ranks[0] by construction). With fewer than two leaves the search
+		// falls back to uniform proposals on its own.
+		var clusters [][]int
+		for _, leaf := range tree.Leaves() {
+			clusters = append(clusters, leaf.Ranks)
+		}
 		sres, err := search.Anneal(pd, res.Schedule, search.AnnealOptions{
 			Seed: opts.RefineSeed, Budget: opts.Refine, Workers: opts.RefineWorkers,
+			Clusters: clusters, BatchSize: opts.RefineBatch,
 			Telemetry: opts.Telemetry,
 		})
 		refineSpan.End()

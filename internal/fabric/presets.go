@@ -48,6 +48,37 @@ func HexClusterFabric(pl topo.Placement, p int, seed uint64) (*Fabric, error) {
 	return New(topo.HexCluster(), pl, p, GigEParams(seed))
 }
 
+// ScaleClusterSpec returns a synthetic hierarchical machine shape for
+// large-P tuning studies: nodes dual-socket nodes with exactly enough cores
+// per socket to host p ranks under block placement. The paper's machines top
+// out at 120 cores; this preset extrapolates the same three-layer hierarchy
+// (shared cache pair, socket, node) to P=1024 and beyond so the scaling of
+// the tuning engine itself can be measured.
+func ScaleClusterSpec(p, nodes int) topo.Spec {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	perSocket := (p + 2*nodes - 1) / (2 * nodes)
+	if perSocket < 1 {
+		perSocket = 1
+	}
+	return topo.Spec{
+		Name:           "synthetic scale cluster",
+		Nodes:          nodes,
+		SocketsPerNode: 2,
+		CoresPerSocket: perSocket,
+		CacheGroup:     2,
+	}
+}
+
+// ScaleClusterFabric places p ranks block-wise (dense nodes — the placement
+// that gives the locality structure a hierarchical barrier exploits) on a
+// synthetic nodes-node dual-socket cluster with GigE-class interconnect
+// parameters, and returns its cost oracle.
+func ScaleClusterFabric(p, nodes int, seed uint64) (*Fabric, error) {
+	return New(ScaleClusterSpec(p, nodes), topo.Block{}, p, GigEParams(seed))
+}
+
 // IBParams returns cost parameters for a low-latency RDMA-class interconnect
 // (single-digit-µs startup across nodes). §VI notes that such systems narrow
 // the gap the commodity-cluster noise floor imposes on prediction accuracy —

@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refRow is a map-based reference set for HybridRow property testing.
+type refRow map[int]bool
+
+// TestHybridRowPropertyRandomOps drives a HybridRow through random Add/OrRow
+// sequences across the sparse→dense transition and checks every observable
+// against a map-based reference.
+func TestHybridRowPropertyRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 7, 63, 64, 65, 200, 512} {
+		for trial := 0; trial < 20; trial++ {
+			r := NewHybridRow(n)
+			ref := refRow{}
+			for op := 0; op < 120; op++ {
+				switch rng.Intn(3) {
+				case 0:
+					j := rng.Intn(n)
+					grew := r.Add(j)
+					if grew == ref[j] {
+						t.Fatalf("n=%d Add(%d) grew=%v but ref had %v", n, j, grew, ref[j])
+					}
+					ref[j] = true
+				case 1:
+					o := NewHybridRow(n)
+					oref := refRow{}
+					for k := rng.Intn(n); k > 0; k-- {
+						j := rng.Intn(n)
+						o.Add(j)
+						oref[j] = true
+					}
+					wantSub := true
+					for j := range oref {
+						if !ref[j] {
+							wantSub = false
+						}
+					}
+					if got := o.SubsetOf(r); got != wantSub {
+						t.Fatalf("n=%d SubsetOf=%v want %v", n, got, wantSub)
+					}
+					grew := r.OrRow(o)
+					if grew == wantSub {
+						t.Fatalf("n=%d OrRow grew=%v but subset was %v", n, grew, wantSub)
+					}
+					for j := range oref {
+						ref[j] = true
+					}
+				case 2:
+					c := r.Clone()
+					j := rng.Intn(n)
+					c.Add(j)
+					if !ref[j] && r.Contains(j) {
+						t.Fatalf("n=%d Clone aliases parent storage", n)
+					}
+				}
+				if r.Count() != len(ref) {
+					t.Fatalf("n=%d Count=%d want %d (dense=%v)", n, r.Count(), len(ref), r.IsDense())
+				}
+				if r.Full() != (len(ref) == n) {
+					t.Fatalf("n=%d Full=%v want %v", n, r.Full(), len(ref) == n)
+				}
+				for j := 0; j < n; j++ {
+					if r.Contains(j) != ref[j] {
+						t.Fatalf("n=%d Contains(%d)=%v want %v", n, j, r.Contains(j), ref[j])
+					}
+				}
+			}
+			got := r.Indices(nil)
+			if len(got) != len(ref) {
+				t.Fatalf("n=%d Indices len %d want %d", n, len(got), len(ref))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1] >= got[i] {
+					t.Fatalf("n=%d Indices not strictly increasing: %v", n, got)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridRowOrWords(t *testing.T) {
+	r := NewHybridRow(130)
+	r.Add(3)
+	src := make([]uint64, 3)
+	src[0] = 1<<3 | 1<<40
+	src[2] = 1 << 1 // column 129
+	if !r.OrWords(src) {
+		t.Fatal("OrWords should report growth")
+	}
+	if r.OrWords(src) {
+		t.Fatal("second OrWords should be a no-op")
+	}
+	for _, j := range []int{3, 40, 129} {
+		if !r.Contains(j) {
+			t.Fatalf("missing column %d", j)
+		}
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count=%d want 3", r.Count())
+	}
+}
+
+// randomStages builds a random schedule-shaped stage sequence; density
+// sweeps from sparse to heavy so closures both succeed and fail.
+func randomStages(rng *rand.Rand, p, stages int, density float64) []*Bool {
+	out := make([]*Bool, stages)
+	for k := range out {
+		s := NewBool(p)
+		signals := int(density * float64(p))
+		if signals < 1 {
+			signals = 1
+		}
+		for c := 0; c < signals; c++ {
+			s.Set(rng.Intn(p), rng.Intn(p), true)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func denseClosure(p int, stages []*Bool) bool {
+	k := Identity(p)
+	for _, s := range stages {
+		k = Propagate(k, s)
+	}
+	return k.AllSet()
+}
+
+// TestFrontierClosureBitIdenticalToDense is the tentpole property test:
+// over random schedules up to P=256, the sparse-frontier closure verdict
+// must match the dense Propagate/AllSet path exactly.
+func TestFrontierClosureBitIdenticalToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1109))
+	sizes := []int{1, 2, 3, 5, 8, 13, 31, 64, 65, 127, 256}
+	closed, open := 0, 0
+	for _, p := range sizes {
+		trials := 40
+		if p > 60 {
+			trials = 8
+		}
+		for trial := 0; trial < trials; trial++ {
+			stages := 1 + rng.Intn(6)
+			density := []float64{0.3, 1, 2, 5}[rng.Intn(4)]
+			ss := randomStages(rng, p, stages, density)
+			want := denseClosure(p, ss)
+			if got := FrontierClosure(p, ss); got != want {
+				t.Fatalf("P=%d trial=%d: FrontierClosure=%v dense=%v", p, trial, got, want)
+			}
+			if want {
+				closed++
+			} else {
+				open++
+			}
+		}
+	}
+	if closed == 0 || open == 0 {
+		t.Fatalf("degenerate sweep: %d closed, %d open — adjust densities", closed, open)
+	}
+}
+
+// TestFrontierClosureDissemination pins the classic closures: dissemination
+// closes in ceil(log2 P) stages and fails with one stage fewer.
+func TestFrontierClosureDissemination(t *testing.T) {
+	for _, p := range []int{2, 3, 8, 16, 33, 128} {
+		var stages []*Bool
+		for d := 1; d < p; d *= 2 {
+			s := NewBool(p)
+			for i := 0; i < p; i++ {
+				s.Set(i, (i+d)%p, true)
+			}
+			stages = append(stages, s)
+		}
+		if !FrontierClosure(p, stages) {
+			t.Fatalf("P=%d dissemination should close", p)
+		}
+		if p > 2 && FrontierClosure(p, stages[:len(stages)-1]) {
+			t.Fatalf("P=%d truncated dissemination should not close", p)
+		}
+	}
+}
+
+// TestPropagateTMatchesDense checks the transposed step against Propagate on
+// random knowledge/stage pairs, with and without silenced ranks.
+func TestPropagateTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []int{1, 5, 17, 64, 90} {
+		for trial := 0; trial < 12; trial++ {
+			k := Identity(p)
+			s := NewBool(p)
+			for c := 0; c < 3*p; c++ {
+				k.Set(rng.Intn(p), rng.Intn(p), true)
+				if rng.Intn(2) == 0 {
+					s.Set(rng.Intn(p), rng.Intn(p), true)
+				}
+			}
+			silent := make([]uint64, (p+63)/64)
+			for i := 0; i < p; i++ {
+				if rng.Intn(5) == 0 {
+					silent[i/64] |= 1 << (uint(i) % 64)
+				}
+			}
+
+			kt := k.T()
+			dst := NewBool(p)
+			PropagateTInto(dst, kt, s)
+			if want := Propagate(k, s).T(); !dst.Equal(want) {
+				t.Fatalf("P=%d PropagateTInto mismatch", p)
+			}
+
+			dstS := NewBool(p)
+			PropagateTSilencedInto(dstS, kt, s, silent)
+			wantS := NewBool(p)
+			PropagateSilencedInto(wantS, k, s, silent)
+			if !dstS.Equal(wantS.T()) {
+				t.Fatalf("P=%d PropagateTSilencedInto mismatch", p)
+			}
+		}
+	}
+}

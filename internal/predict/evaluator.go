@@ -42,6 +42,13 @@ type Evaluator struct {
 	times      [][]float64
 	timesValid int
 	zero       []float64
+	// senders[k] is a rank bitset marking rows of stage k with at least one
+	// signal, kept in lockstep with the priced snapshots. The completion-time
+	// pass iterates only those rows: a rank that sends nothing contributes no
+	// arrival terms, so skipping it performs the exact same float operations
+	// in the exact same order — while hierarchical schedules at large P leave
+	// most ranks idle in most stages.
+	senders [][]uint64
 }
 
 type rowRef struct{ stage, rank int }
@@ -96,15 +103,28 @@ func (e *Evaluator) Cost(s *sched.Schedule) float64 {
 	if n > 0 {
 		words = s.Stages[0].WordsPerRow()
 	}
+	rankWords := (e.p + 63) / 64
 	for e.active < n {
 		k := e.active
 		if len(e.dur) <= k {
 			e.dur = append(e.dur, make([]float64, e.p))
 			e.rowBits = append(e.rowBits, make([]uint64, e.p*words))
+			e.senders = append(e.senders, make([]uint64, rankWords))
+		}
+		sd := e.senders[k]
+		for w := range sd {
+			sd[w] = 0
 		}
 		for i := 0; i < e.p; i++ {
 			e.dur[k][i] = e.rowCost(s, k, i)
-			copy(e.rowBits[k][i*words:(i+1)*words], s.Stages[k].RowWords(i))
+			row := s.Stages[k].RowWords(i)
+			copy(e.rowBits[k][i*words:(i+1)*words], row)
+			for _, wv := range row {
+				if wv != 0 {
+					sd[i>>6] |= 1 << (uint(i) % 64)
+					break
+				}
+			}
 		}
 		if e.timesValid > k {
 			e.timesValid = k
@@ -131,6 +151,18 @@ func (e *Evaluator) Cost(s *sched.Schedule) float64 {
 		}
 		copy(snap, row)
 		e.dur[r.stage][r.rank] = e.rowCost(s, r.stage, r.rank)
+		nz := false
+		for _, wv := range row {
+			if wv != 0 {
+				nz = true
+				break
+			}
+		}
+		if nz {
+			e.senders[r.stage][r.rank>>6] |= 1 << (uint(r.rank) % 64)
+		} else {
+			e.senders[r.stage][r.rank>>6] &^= 1 << (uint(r.rank) % 64)
+		}
 		if r.stage < e.timesValid {
 			e.timesValid = r.stage
 		}
@@ -151,15 +183,19 @@ func (e *Evaluator) Cost(s *sched.Schedule) float64 {
 		for i := 0; i < e.p; i++ {
 			next[i] = t[i] + dur[i]
 		}
-		for m := 0; m < e.p; m++ {
-			row := stWords[m*words : (m+1)*words]
-			arr := t[m] + dur[m]
-			for w, word := range row {
-				for word != 0 {
-					i := w*64 + bits.TrailingZeros64(word)
-					word &= word - 1
-					if arr > next[i] {
-						next[i] = arr
+		for sw, sword := range e.senders[k] {
+			for sword != 0 {
+				m := sw*64 + bits.TrailingZeros64(sword)
+				sword &= sword - 1
+				row := stWords[m*words : (m+1)*words]
+				arr := t[m] + dur[m]
+				for w, word := range row {
+					for word != 0 {
+						i := w*64 + bits.TrailingZeros64(word)
+						word &= word - 1
+						if arr > next[i] {
+							next[i] = arr
+						}
 					}
 				}
 			}

@@ -7,12 +7,12 @@ import (
 	"topobarrier/internal/mat"
 )
 
-// KnowledgeCache is the prefix-reusable form of the Eq. 3 recurrence for
-// evaluators that mutate one working schedule in place: it keeps the
-// knowledge matrix after every stage and re-runs the recurrence only over
-// the rows and stages a mutation can have touched. A from-scratch
-// Schedule.IsBarrier costs O(stages·P³/64) and allocates per stage; the
-// cache exploits the recurrence's structure instead:
+// DenseKnowledgeCache is the row-major implementation of KnowledgeCache: it
+// keeps the knowledge matrix after every stage as a dense mat.Bool and
+// re-runs the recurrence only over the rows and stages a mutation can have
+// touched. A from-scratch Schedule.IsBarrier costs O(stages·P³/64) and
+// allocates per stage; the cache exploits the recurrence's structure
+// instead:
 //
 //   - Stage k's knowledge depends only on stage k-1's knowledge and stage
 //     matrix k, so a mutation at stage k leaves the prefix [0, k) intact.
@@ -33,8 +33,9 @@ import (
 // reporting every mutation before the next Barrier query — NoteSet/NoteClear
 // for exact single-bit edits, InvalidateRow(k, i) for an arbitrary change to
 // row i of stage k, Invalidate(k) for wholesale edits from stage k on. The
-// zero value is not usable; construct with NewKnowledgeCache.
-type KnowledgeCache struct {
+// zero value is not usable; construct with NewDenseKnowledgeCache (or let
+// NewKnowledgeCache pick the engine by rank count).
+type DenseKnowledgeCache struct {
 	p    int
 	mats []*mat.Bool // mats[k] = knowledge after stage k, current for k < valid
 	// valid counts the leading stages whose cached knowledge is current,
@@ -74,13 +75,15 @@ const (
 
 type pendingNote struct{ kind, stage, i, j int }
 
-// NewKnowledgeCache returns an empty cache for p-rank schedules.
-func NewKnowledgeCache(p int) *KnowledgeCache {
+// NewDenseKnowledgeCache returns an empty row-major cache for p-rank
+// schedules. Below the frontier threshold this is what NewKnowledgeCache
+// returns; tests and benchmarks use it directly to pin the dense path.
+func NewDenseKnowledgeCache(p int) *DenseKnowledgeCache {
 	if p <= 0 {
 		panic(fmt.Sprintf("sched: knowledge cache over %d ranks", p))
 	}
 	w := (p + 63) / 64
-	return &KnowledgeCache{
+	return &DenseKnowledgeCache{
 		p: p, sat: -1,
 		chA: make([]uint64, w), nextA: make([]uint64, w),
 		chU: make([]uint64, w), nextU: make([]uint64, w),
@@ -93,7 +96,7 @@ func NewKnowledgeCache(p int) *KnowledgeCache {
 // Invalidate marks stage k and every later stage wholly stale. Use it for
 // edits beyond single rows (adoption of a foreign schedule, stage appends and
 // truncations); Invalidate(0) forces a full recompute.
-func (c *KnowledgeCache) Invalidate(stage int) {
+func (c *DenseKnowledgeCache) Invalidate(stage int) {
 	if stage < 0 {
 		stage = 0
 	}
@@ -108,13 +111,13 @@ func (c *KnowledgeCache) Invalidate(stage int) {
 // NoteSet records that entry (i, j) of stage k's matrix changed from clear to
 // set. A pending NoteClear of the same entry cancels against it: the bit is
 // back where the cache last saw it, so neither needs replaying.
-func (c *KnowledgeCache) NoteSet(stage, i, j int) { c.note(noteSet, noteClear, stage, i, j) }
+func (c *DenseKnowledgeCache) NoteSet(stage, i, j int) { c.note(noteSet, noteClear, stage, i, j) }
 
 // NoteClear records that entry (i, j) of stage k's matrix changed from set to
 // clear, cancelling a pending NoteSet of the same entry.
-func (c *KnowledgeCache) NoteClear(stage, i, j int) { c.note(noteClear, noteSet, stage, i, j) }
+func (c *DenseKnowledgeCache) NoteClear(stage, i, j int) { c.note(noteClear, noteSet, stage, i, j) }
 
-func (c *KnowledgeCache) note(kind, inverse, stage, i, j int) {
+func (c *DenseKnowledgeCache) note(kind, inverse, stage, i, j int) {
 	if i < 0 || i >= c.p || j < 0 || j >= c.p || stage < 0 {
 		panic(fmt.Sprintf("sched: change note (%d, %d, %d) out of range", stage, i, j))
 	}
@@ -133,7 +136,7 @@ func (c *KnowledgeCache) note(kind, inverse, stage, i, j int) {
 // InvalidateRow records that row i of stage k's matrix changed in an
 // unspecified way — the coarse form of NoteSet/NoteClear for callers that do
 // not track individual bits.
-func (c *KnowledgeCache) InvalidateRow(stage, row int) {
+func (c *DenseKnowledgeCache) InvalidateRow(stage, row int) {
 	if row < 0 || row >= c.p || stage < 0 {
 		panic(fmt.Sprintf("sched: InvalidateRow(%d, %d) out of range", stage, row))
 	}
@@ -145,7 +148,7 @@ func (c *KnowledgeCache) InvalidateRow(stage, row int) {
 // Barrier reports whether s globally synchronises (Eq. 3), re-running the
 // recurrence only over rows and stages the recorded changes can have
 // affected. s must be over the cache's rank count.
-func (c *KnowledgeCache) Barrier(s *Schedule) bool {
+func (c *DenseKnowledgeCache) Barrier(s *Schedule) bool {
 	if s.P != c.p {
 		panic(fmt.Sprintf("sched: %d-rank schedule against %d-rank knowledge cache", s.P, c.p))
 	}
@@ -161,8 +164,7 @@ func (c *KnowledgeCache) Barrier(s *Schedule) bool {
 	// their prior contents so Rollback can restore this exact state. The
 	// pending notes are snapshotted too: this call consumes them, but a
 	// Rollback must re-arm any that described changes the schedule keeps.
-	c.jRows = c.jRows[:0]
-	c.jArena = c.jArena[:0]
+	c.resetJournal()
 	c.jPending = append(c.jPending[:0], c.pending...)
 	c.jValid, c.jSat = c.valid, c.sat
 	if c.p == 1 {
@@ -339,7 +341,7 @@ func (c *KnowledgeCache) Barrier(s *Schedule) bool {
 
 // recomputeRows rebuilds the rows of stage k flagged in c.chA, records rows
 // whose value actually moved in c.nextA, and reports whether any did.
-func (c *KnowledgeCache) recomputeRows(k int, st, out, prev *mat.Bool) bool {
+func (c *DenseKnowledgeCache) recomputeRows(k int, st, out, prev *mat.Bool) bool {
 	clearWords(c.nextA)
 	wpr := len(c.scratch)
 	prevW, outW := prev.Words(), out.Words()
@@ -372,7 +374,7 @@ func (c *KnowledgeCache) recomputeRows(k int, st, out, prev *mat.Bool) bool {
 // Only rows inside the call's starting prefix are ever journaled; writes to
 // stages at or beyond the starting valid count are un-done by restoring the
 // valid count itself.
-func (c *KnowledgeCache) journalRow(stage, row int, words []uint64) {
+func (c *DenseKnowledgeCache) journalRow(stage, row int, words []uint64) {
 	c.jArena = append(c.jArena, words...)
 	c.jRows = append(c.jRows, journalRef{stage, row, len(c.jArena) - len(words)})
 }
@@ -385,27 +387,52 @@ func (c *KnowledgeCache) journalRow(stage, row int, words []uint64) {
 // the next Barrier. This is how the search engine retires an
 // evaluated-but-rejected candidate in O(rows actually changed) copies instead
 // of pushing a second change wave through the recurrence.
-func (c *KnowledgeCache) Rollback() {
+func (c *DenseKnowledgeCache) Rollback() {
 	w := (c.p + 63) / 64
 	for i := len(c.jRows) - 1; i >= 0; i-- {
 		e := c.jRows[i]
 		copy(c.mats[e.stage].RowWords(e.row), c.jArena[e.off:e.off+w])
 	}
-	c.jRows = c.jRows[:0]
-	c.jArena = c.jArena[:0]
+	c.resetJournal()
 	c.valid, c.sat = c.jValid, c.jSat
 	c.pending = append(c.pending[:0], c.jPending...)
 }
 
+// Journal retention caps. A single pathological mutation (adopting a foreign
+// schedule, a row invalidation storm) can journal O(P·stages) rows; a long
+// anneal performs millions of Barrier calls, and without a cap the journal
+// buffers would stay at their high-water capacity for the whole run. Commit
+// points (journal open and Rollback) drop buffers that grew past the caps so
+// memory tracks the typical mutation, not the worst one seen.
+const (
+	journalRetainWords = 1 << 16 // 512 KiB of row arena
+	journalRetainRefs  = 1 << 12
+)
+
+// resetJournal empties the undo journal, releasing oversized backing arrays
+// rather than retaining their capacity.
+func (c *DenseKnowledgeCache) resetJournal() {
+	if cap(c.jArena) > journalRetainWords {
+		c.jArena = nil
+	} else {
+		c.jArena = c.jArena[:0]
+	}
+	if cap(c.jRows) > journalRetainRefs {
+		c.jRows = nil
+	} else {
+		c.jRows = c.jRows[:0]
+	}
+}
+
 // saturateAt records stage k as all-set and discards currency of everything
 // after it; later stages are rebuilt in full if saturation is ever broken.
-func (c *KnowledgeCache) saturateAt(k int) {
+func (c *DenseKnowledgeCache) saturateAt(k int) {
 	c.sat = k
 	c.valid = k + 1
 	c.pending = c.pending[:0]
 }
 
-func (c *KnowledgeCache) pendingAfter(k int) bool {
+func (c *DenseKnowledgeCache) pendingAfter(k int) bool {
 	for _, pr := range c.pending {
 		if pr.stage > k {
 			return true
@@ -439,7 +466,7 @@ func trailingZeros64(x uint64) int {
 // FirstFullStage returns the earliest stage after which every rank knows
 // about every arrival, or -1 when the schedule never synchronises. It shares
 // the cache's incremental state with Barrier.
-func (c *KnowledgeCache) FirstFullStage(s *Schedule) int {
+func (c *DenseKnowledgeCache) FirstFullStage(s *Schedule) int {
 	if !c.Barrier(s) {
 		return -1
 	}
@@ -459,7 +486,7 @@ func (c *KnowledgeCache) FirstFullStage(s *Schedule) int {
 // and is only valid until the next Invalidate/Barrier call; clone to keep.
 // Stages past the saturation point carry fully-set knowledge; for those the
 // saturated matrix is returned.
-func (c *KnowledgeCache) After(s *Schedule, k int) *mat.Bool {
+func (c *DenseKnowledgeCache) After(s *Schedule, k int) *mat.Bool {
 	if k < 0 || k >= s.NumStages() {
 		panic(fmt.Sprintf("sched: knowledge after stage %d of %d-stage schedule", k, s.NumStages()))
 	}
@@ -479,7 +506,7 @@ func (c *KnowledgeCache) After(s *Schedule, k int) *mat.Bool {
 }
 
 // prev returns the knowledge matrix feeding stage k.
-func (c *KnowledgeCache) prev(k int) *mat.Bool {
+func (c *DenseKnowledgeCache) prev(k int) *mat.Bool {
 	if k == 0 {
 		if c.ident == nil {
 			c.ident = mat.Identity(c.p)

@@ -1,0 +1,567 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"topobarrier/internal/mat"
+)
+
+// FrontierKnowledgeCache is the large-P implementation of KnowledgeCache.
+// Where the dense engine keeps row-major knowledge matrices and re-spreads
+// changed rows (each spread touching O(popcount·P/64) words), this engine
+// keeps the recurrence transposed: row j of stage k's table is column j of
+// K(k) — the set of arrivals rank j knows after stage k — and one stage step
+// is
+//
+//	know′[j] = know[j] ∪ ⋃_{m : S[m][j]} know[m]
+//
+// one row union per signal. Three structural tricks make mutations cheap at
+// P=1024:
+//
+//   - Copy-on-write row sharing. A stage that does not change rank j's
+//     knowledge aliases stage k-1's row for j instead of copying it, so a
+//     schedule's whole knowledge history costs O(changed rows), not
+//     O(stages·P²/64).
+//   - Frontier waves. A mutation dirties a handful of receivers; the next
+//     stage only needs to recompute those ranks and the receivers of their
+//     signals, and the wave dies as soon as recomputed rows come out equal
+//     to the cached ones. When a wave engulfs most ranks the engine falls
+//     back to one receiver-wise pass over the whole stage.
+//   - Pointer journaling. Published rows are immutable (replaced, never
+//     mutated), so the undo journal is a list of prior row pointers and
+//     Rollback is O(changed rows) pointer restores.
+//
+// Verdicts and matrices are bit-identical to the dense engine — boolean OR
+// is order-independent — which the cross-engine property tests pin. The
+// zero value is not usable; construct with NewFrontierKnowledgeCache (or let
+// NewKnowledgeCache pick the engine by rank count).
+type FrontierKnowledgeCache struct {
+	p, words int
+	tailMask uint64
+	// tables[k][j] = know set of rank j after stage k, current for
+	// k < valid modulo pending notes. Rows may alias earlier stages' rows
+	// and are immutable once the Barrier call that allocated them returns.
+	tables  [][][]uint64
+	fullCnt []int // per-stage count of saturated rows, trusted for k < valid
+	valid   int
+	sat     int // a stage whose knowledge is all-set, or -1
+	ident   [][]uint64
+	pending []pendingNote
+
+	// Wave state: rank bitsets and row accumulators, all sized for p.
+	dirty, nextDirty, cand []uint64
+	computed               []uint64
+	colScratch             []uint64
+	rowScratch             [][]uint64
+
+	// Undo journal: prior row pointers plus the prior valid/sat/pending.
+	jRefs        []frontierJournalRef
+	jPending     []pendingNote
+	jValid, jSat int
+
+	// free recycles row slabs across candidates: Rollback returns the rows
+	// it evicts (only the ones this engine allocated — never COW aliases of
+	// an earlier stage's row), and newRow reuses them before touching the
+	// allocator. In a rejection-heavy search loop this makes the steady
+	// state allocation-free.
+	free [][]uint64
+}
+
+type frontierJournalRef struct {
+	stage, row int32
+	// fresh marks rows allocated (or pooled) by the installing Barrier call;
+	// only those may be recycled when Rollback evicts them. Aliased installs
+	// share their array with another table slot and must be left to the GC.
+	fresh bool
+	old   []uint64
+}
+
+// freeRetainRows bounds the recycling pool; evictions past it go to the GC.
+const freeRetainRows = 1 << 12
+
+// newRow returns a row slab holding a copy of src, reusing a recycled slab
+// when one is available.
+func (c *FrontierKnowledgeCache) newRow(src []uint64) []uint64 {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		copy(r, src)
+		return r
+	}
+	return append(make([]uint64, 0, c.words), src...)
+}
+
+// NewFrontierKnowledgeCache returns an empty transposed copy-on-write cache
+// for p-rank schedules. At or above the frontier threshold this is what
+// NewKnowledgeCache returns; tests and benchmarks use it directly to pin
+// the frontier path at small P.
+func NewFrontierKnowledgeCache(p int) *FrontierKnowledgeCache {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: knowledge cache over %d ranks", p))
+	}
+	w := (p + 63) / 64
+	tail := ^uint64(0)
+	if r := uint(p % 64); r != 0 {
+		tail = (uint64(1) << r) - 1
+	}
+	c := &FrontierKnowledgeCache{
+		p: p, words: w, tailMask: tail, sat: -1, jSat: -1,
+		dirty: make([]uint64, w), nextDirty: make([]uint64, w),
+		cand: make([]uint64, w), computed: make([]uint64, w),
+		colScratch: make([]uint64, w),
+		rowScratch: make([][]uint64, p),
+		ident:      make([][]uint64, p),
+	}
+	for j := 0; j < p; j++ {
+		c.rowScratch[j] = make([]uint64, w)
+		row := make([]uint64, w)
+		row[j>>6] = 1 << uint(j&63)
+		c.ident[j] = row
+	}
+	return c
+}
+
+// Invalidate marks stage k and every later stage wholly stale.
+func (c *FrontierKnowledgeCache) Invalidate(stage int) {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage < c.valid {
+		c.valid = stage
+	}
+	if c.sat >= c.valid {
+		c.sat = -1
+	}
+}
+
+// NoteSet records that entry (i, j) of stage k's matrix changed from clear
+// to set, cancelling a pending NoteClear of the same entry.
+func (c *FrontierKnowledgeCache) NoteSet(stage, i, j int) { c.note(noteSet, noteClear, stage, i, j) }
+
+// NoteClear records that entry (i, j) of stage k's matrix changed from set
+// to clear, cancelling a pending NoteSet of the same entry.
+func (c *FrontierKnowledgeCache) NoteClear(stage, i, j int) { c.note(noteClear, noteSet, stage, i, j) }
+
+func (c *FrontierKnowledgeCache) note(kind, inverse, stage, i, j int) {
+	if i < 0 || i >= c.p || j < 0 || j >= c.p || stage < 0 {
+		panic(fmt.Sprintf("sched: change note (%d, %d, %d) out of range", stage, i, j))
+	}
+	if stage >= c.valid {
+		return // the region is stale already and recomputed in full
+	}
+	for n, pr := range c.pending {
+		if pr.kind == inverse && pr.stage == stage && pr.i == i && pr.j == j {
+			c.pending = append(c.pending[:n], c.pending[n+1:]...)
+			return
+		}
+	}
+	c.pending = append(c.pending, pendingNote{kind, stage, i, j})
+}
+
+// InvalidateRow records that row i of stage k's matrix changed in an
+// unspecified way.
+func (c *FrontierKnowledgeCache) InvalidateRow(stage, row int) {
+	if row < 0 || row >= c.p || stage < 0 {
+		panic(fmt.Sprintf("sched: InvalidateRow(%d, %d) out of range", stage, row))
+	}
+	if stage < c.valid {
+		c.pending = append(c.pending, pendingNote{noteRow, stage, row, -1})
+	}
+}
+
+// Barrier reports whether s globally synchronises (Eq. 3), pushing a
+// dirty-rank frontier wave through the cached transposed tables.
+func (c *FrontierKnowledgeCache) Barrier(s *Schedule) bool {
+	if s.P != c.p {
+		panic(fmt.Sprintf("sched: %d-rank schedule against %d-rank knowledge cache", s.P, c.p))
+	}
+	n := s.NumStages()
+	if c.valid > n {
+		c.valid = n
+	}
+	if c.sat >= c.valid {
+		c.sat = -1
+	}
+	c.resetJournal()
+	c.jPending = append(c.jPending[:0], c.pending...)
+	c.jValid, c.jSat = c.valid, c.sat
+	if c.p == 1 {
+		c.pending = c.pending[:0]
+		return true
+	}
+	pend := c.pending[:0]
+	for _, pr := range c.pending {
+		if pr.stage < c.valid {
+			pend = append(pend, pr)
+		}
+	}
+	c.pending = pend
+	if len(c.pending) == 0 {
+		if c.sat >= 0 {
+			return true
+		}
+		if c.valid == n {
+			return n > 0 && c.fullCnt[n-1] == c.p
+		}
+	}
+	for len(c.tables) < n {
+		c.tables = append(c.tables, make([][]uint64, c.p))
+		c.fullCnt = append(c.fullCnt, 0)
+	}
+
+	start := c.valid
+	for _, pr := range c.pending {
+		if pr.stage < start {
+			start = pr.stage
+		}
+	}
+	clearWords(c.dirty)
+	for k := start; k < n; k++ {
+		st := s.Stages[k]
+		if k >= c.valid {
+			// Stale region: rebuild the stage wholesale. The restored valid
+			// count already un-does these writes on Rollback; the journal
+			// entries exist so rollback can recycle the installed rows.
+			c.recomputeStage(k, st, false)
+			c.valid = k + 1
+			if c.fullCnt[k] == c.p {
+				c.saturateAt(k)
+				return true
+			}
+			continue
+		}
+		// Candidate receivers: every rank whose own knowledge moved at the
+		// previous stage, every receiver of a signal such a rank sends at
+		// this stage, and every receiver a pending note names here. A
+		// wildcard row note means the row's previous receivers are unknown,
+		// so any rank may have lost a contribution: whole-stage recompute.
+		copy(c.cand, c.dirty)
+		wholeStage := false
+		for w, word := range c.dirty {
+			for word != 0 {
+				m := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				for x, v := range st.RowWords(m) {
+					c.cand[x] |= v
+				}
+			}
+		}
+		for _, pr := range c.pending {
+			if pr.stage != k {
+				continue
+			}
+			if pr.kind == noteRow {
+				wholeStage = true
+			} else {
+				c.cand[pr.j>>6] |= 1 << uint(pr.j&63)
+			}
+		}
+		var changed bool
+		if wholeStage || popcountWords(c.cand)*8 >= c.p {
+			changed = c.recomputeStage(k, st, true)
+		} else {
+			changed = c.recomputeReceivers(k, st)
+		}
+		c.dirty, c.nextDirty = c.nextDirty, c.dirty
+		if changed {
+			if k == c.sat && c.fullCnt[k] != c.p {
+				// Saturation broken: the suffix must be rebuilt.
+				c.sat = -1
+			} else if c.sat < 0 && c.fullCnt[k] == c.p {
+				c.saturateAt(k)
+				return true
+			}
+		}
+		if bitsetEmpty(c.dirty) && !pendingAfter(c.pending, k) {
+			// The wave died. If the schedule has a stale suffix jump
+			// straight to it; otherwise the verdict follows from what we
+			// already know.
+			if c.sat >= 0 || c.valid >= n {
+				break
+			}
+			k = c.valid - 1
+		}
+	}
+	c.pending = c.pending[:0]
+	if c.sat >= 0 {
+		return true
+	}
+	return n > 0 && c.valid == n && c.fullCnt[n-1] == c.p
+}
+
+// recomputeStage rebuilds stage k with one receiver-wise pass over every
+// signal. In incremental mode (stage inside the valid prefix) rows whose
+// value did not move keep their cached pointer, moved rows are journaled and
+// flagged dirty for the next stage, and the return value reports whether any
+// moved; in stale mode rows are installed unconditionally (the slot's prior
+// pointer is untrusted) and journaled only for row recycling.
+func (c *FrontierKnowledgeCache) recomputeStage(k int, st *mat.Bool, incremental bool) bool {
+	clearWords(c.computed)
+	clearWords(c.nextDirty)
+	words := c.words
+	stW := st.Words()
+	for m := 0; m < c.p; m++ {
+		base := m * words
+		var src []uint64
+		for w := 0; w < words; w++ {
+			word := stW[base+w]
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if src == nil {
+					src = c.prevRow(k, m)
+				}
+				dst := c.rowScratch[j]
+				if c.computed[j>>6]&(1<<uint(j&63)) == 0 {
+					copy(dst, c.prevRow(k, j))
+					c.computed[j>>6] |= 1 << uint(j&63)
+				}
+				for x, v := range src {
+					dst[x] |= v
+				}
+			}
+		}
+	}
+	changed := false
+	full := 0
+	tbl := c.tables[k]
+	for j := 0; j < c.p; j++ {
+		owned := c.computed[j>>6]&(1<<uint(j&63)) != 0
+		var newRow []uint64
+		if owned {
+			newRow = c.rowScratch[j]
+		} else {
+			newRow = c.prevRow(k, j)
+		}
+		if incremental {
+			cur := tbl[j]
+			if wordsEqual(cur, newRow) {
+				if c.isFullRow(cur) {
+					full++
+				}
+				continue
+			}
+			install := newRow
+			if owned {
+				install = c.newRow(newRow)
+			}
+			c.jRefs = append(c.jRefs, frontierJournalRef{int32(k), int32(j), owned, cur})
+			tbl[j] = install
+			c.nextDirty[j>>6] |= 1 << uint(j&63)
+			changed = true
+			if c.isFullRow(install) {
+				full++
+			}
+		} else {
+			// Stale mode installs unconditionally: the slot's current pointer
+			// is untrusted (it may dangle into the recycling pool), so it is
+			// never compared against, only journaled so Rollback can recycle
+			// the replacement row.
+			cur := tbl[j]
+			if owned {
+				newRow = c.newRow(newRow)
+			}
+			c.jRefs = append(c.jRefs, frontierJournalRef{int32(k), int32(j), owned, cur})
+			tbl[j] = newRow
+			if c.isFullRow(newRow) {
+				full++
+			}
+		}
+	}
+	c.fullCnt[k] = full
+	return changed
+}
+
+// recomputeReceivers rebuilds only the candidate receivers of stage k,
+// gathering each one's senders by a column scan of the stage matrix. It is
+// the small-wave complement of recomputeStage: O(candidates·P) bit tests
+// instead of a full pass over the stage's signals.
+func (c *FrontierKnowledgeCache) recomputeReceivers(k int, st *mat.Bool) bool {
+	clearWords(c.nextDirty)
+	words := c.words
+	stW := st.Words()
+	tbl := c.tables[k]
+	changed := false
+	for w, word := range c.cand {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			buf := c.colScratch
+			copy(buf, c.prevRow(k, j))
+			cw, cb := j>>6, uint64(1)<<uint(j&63)
+			for m := 0; m < c.p; m++ {
+				if stW[m*words+cw]&cb != 0 {
+					for x, v := range c.prevRow(k, m) {
+						buf[x] |= v
+					}
+				}
+			}
+			cur := tbl[j]
+			if wordsEqual(cur, buf) {
+				continue
+			}
+			install := c.newRow(buf)
+			c.jRefs = append(c.jRefs, frontierJournalRef{int32(k), int32(j), true, cur})
+			tbl[j] = install
+			c.nextDirty[w] |= 1 << uint(j&63)
+			changed = true
+			wasFull, nowFull := c.isFullRow(cur), c.isFullRow(install)
+			if nowFull && !wasFull {
+				c.fullCnt[k]++
+			} else if wasFull && !nowFull {
+				c.fullCnt[k]--
+			}
+		}
+	}
+	return changed
+}
+
+// Rollback restores the cache to its exact state before the most recent
+// Barrier call by restoring the journaled row pointers in reverse, including
+// the pending notes that call consumed.
+func (c *FrontierKnowledgeCache) Rollback() {
+	for i := len(c.jRefs) - 1; i >= 0; i-- {
+		e := c.jRefs[i]
+		tbl := c.tables[e.stage]
+		cur := tbl[e.row]
+		tbl[e.row] = e.old
+		if e.fresh && len(c.free) < freeRetainRows {
+			// cur is the row this journal entry installed (each (stage, row)
+			// is journaled at most once per Barrier call), and fresh installs
+			// are never aliased into another slot by the time the rollback
+			// loop reaches their entry — safe to reuse.
+			c.free = append(c.free, cur)
+		}
+		wasFull, nowFull := c.isFullRow(cur), c.isFullRow(e.old)
+		if nowFull && !wasFull {
+			c.fullCnt[e.stage]++
+		} else if wasFull && !nowFull {
+			c.fullCnt[e.stage]--
+		}
+	}
+	c.resetJournal()
+	c.valid, c.sat = c.jValid, c.jSat
+	c.pending = append(c.pending[:0], c.jPending...)
+}
+
+// resetJournal empties the pointer journal, dropping the row references it
+// held (they pin otherwise-dead rows) and releasing oversized capacity, the
+// same commit-time compaction the dense engine applies to its arena.
+func (c *FrontierKnowledgeCache) resetJournal() {
+	for i := range c.jRefs {
+		c.jRefs[i].old = nil
+	}
+	if cap(c.jRefs) > journalRetainRefs {
+		c.jRefs = nil
+	} else {
+		c.jRefs = c.jRefs[:0]
+	}
+}
+
+// saturateAt records stage k as all-set and discards currency of everything
+// after it; later stages are rebuilt in full if saturation is ever broken.
+func (c *FrontierKnowledgeCache) saturateAt(k int) {
+	c.sat = k
+	c.valid = k + 1
+	c.pending = c.pending[:0]
+}
+
+// FirstFullStage returns the earliest stage after which every rank knows
+// about every arrival, or -1 when the schedule never synchronises.
+func (c *FrontierKnowledgeCache) FirstFullStage(s *Schedule) int {
+	if !c.Barrier(s) {
+		return -1
+	}
+	if c.p == 1 {
+		return 0
+	}
+	for k := 0; k < c.valid; k++ {
+		if c.fullCnt[k] == c.p {
+			return k
+		}
+	}
+	return c.sat // unreachable: a true verdict implies a full stage ≤ sat
+}
+
+// After returns the knowledge matrix following stage k, materialised
+// row-major from the transposed tables (ensuring stages 0..k are current
+// first). Unlike the dense engine's aliasing return this matrix is freshly
+// allocated, but callers should still follow the interface contract and
+// clone if they outlive the next Barrier. Stages past the saturation point
+// carry fully-set knowledge; for those the saturated stage is materialised.
+func (c *FrontierKnowledgeCache) After(s *Schedule, k int) *mat.Bool {
+	if k < 0 || k >= s.NumStages() {
+		panic(fmt.Sprintf("sched: knowledge after stage %d of %d-stage schedule", k, s.NumStages()))
+	}
+	c.Barrier(s)
+	if c.p == 1 {
+		return mat.Identity(1)
+	}
+	if c.sat >= 0 && k >= c.sat {
+		k = c.sat
+	}
+	if k >= c.valid {
+		// Only reachable when the schedule never saturates yet Barrier
+		// stopped early — it doesn't: a non-barrier run validates all stages.
+		panic(fmt.Sprintf("sched: knowledge cache stopped at stage %d before %d", c.valid, k))
+	}
+	out := mat.NewBool(c.p)
+	for j := 0; j < c.p; j++ {
+		for w, word := range c.tables[k][j] {
+			for word != 0 {
+				i := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				out.Set(i, j, true)
+			}
+		}
+	}
+	return out
+}
+
+// prevRow returns the know set feeding stage k for rank j.
+func (c *FrontierKnowledgeCache) prevRow(k, j int) []uint64 {
+	if k == 0 {
+		return c.ident[j]
+	}
+	return c.tables[k-1][j]
+}
+
+func (c *FrontierKnowledgeCache) isFullRow(row []uint64) bool {
+	if len(row) < c.words {
+		return false // unpopulated slot (nil row of a freshly grown stage)
+	}
+	last := c.words - 1
+	for w := 0; w < last; w++ {
+		if row[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return row[last] == c.tailMask
+}
+
+func pendingAfter(pending []pendingNote, k int) bool {
+	for _, pr := range pending {
+		if pr.stage > k {
+			return true
+		}
+	}
+	return false
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for w := range a {
+		if a[w] != b[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func popcountWords(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

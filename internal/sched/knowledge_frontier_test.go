@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"testing"
+
+	"topobarrier/internal/mat"
+	"topobarrier/internal/stats"
+)
+
+func TestFrontierCacheMatchesFromScratch(t *testing.T) {
+	for _, build := range []func(int) *Schedule{Linear, Dissemination, Tree} {
+		s := build(9)
+		c := NewFrontierKnowledgeCache(9)
+		if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+			t.Fatalf("%s: cached verdict %v, from scratch %v", s.Name, got, want)
+		}
+		want := s.Knowledge()
+		for k := range want {
+			if !c.After(s, k).Equal(want[k]) && !c.After(s, k).AllSet() {
+				t.Fatalf("%s: knowledge after stage %d diverges", s.Name, k)
+			}
+			if c.After(s, k).AllSet() && !want[k].AllSet() {
+				t.Fatalf("%s: cache claims saturation at stage %d prematurely", s.Name, k)
+			}
+		}
+	}
+}
+
+func TestFrontierCacheSingleRankAndEmpty(t *testing.T) {
+	c := NewFrontierKnowledgeCache(1)
+	if !c.Barrier(New("solo", 1)) {
+		t.Fatalf("single rank with no stages must synchronise")
+	}
+	c4 := NewFrontierKnowledgeCache(4)
+	if c4.Barrier(New("void", 4)) {
+		t.Fatalf("four ranks with no stages cannot synchronise")
+	}
+	if c4.FirstFullStage(New("void", 4)) != -1 {
+		t.Fatalf("FirstFullStage of a non-barrier must be -1")
+	}
+}
+
+func TestFrontierCacheFirstFullStage(t *testing.T) {
+	for _, p := range []int{8, 64} {
+		s := Dissemination(p)
+		c := NewFrontierKnowledgeCache(p)
+		got := c.FirstFullStage(s)
+		want := -1
+		for k, m := range s.Knowledge() {
+			if m.AllSet() {
+				want = k
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("P=%d FirstFullStage = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestFrontierCachePropertyRandomMutations is the dense engine's property
+// suite pointed at the frontier engine, with both engines additionally run
+// in lockstep so every verdict, every spot-checked matrix, and every
+// rollback is cross-checked engine against engine. Random Rollback cycles
+// exercise the pointer journal the way the search engine's
+// evaluated-rejection protocol does.
+func TestFrontierCachePropertyRandomMutations(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 13, 64, 90} {
+		steps := 600
+		if p >= 64 {
+			steps = 150
+		}
+		rng := stats.NewRNG(uint64(211 + p))
+		s := Dissemination(p)
+		fc := NewFrontierKnowledgeCache(p)
+		dc := NewDenseKnowledgeCache(p)
+		for step := 0; step < steps; step++ {
+			switch rng.Intn(9) {
+			case 0: // append an empty stage
+				if s.NumStages() < 14 {
+					s.AddStage(mat.NewBool(p))
+					fc.Invalidate(s.NumStages() - 1)
+					dc.Invalidate(s.NumStages() - 1)
+				}
+			case 1: // truncate the last stage (models an undone append)
+				if s.NumStages() > 1 {
+					k := s.NumStages() - 1
+					s.Stages = s.Stages[:k]
+					fc.Invalidate(k)
+					dc.Invalidate(k)
+				}
+			case 2: // toggle a random signal, coarse invalidation
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				s.Stages[k].Set(i, j, !s.Stages[k].At(i, j))
+				fc.Invalidate(k)
+				dc.Invalidate(k)
+			case 3: // toggle a random signal, row-level invalidation
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				s.Stages[k].Set(i, j, !s.Stages[k].At(i, j))
+				fc.InvalidateRow(k, i)
+				dc.InvalidateRow(k, i)
+			case 4: // evaluated rejection: note, evaluate, roll back, revert
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				was := s.Stages[k].At(i, j)
+				s.Stages[k].Set(i, j, !was)
+				noteToggle(fc, k, i, j, was)
+				noteToggle(dc, k, i, j, was)
+				fv, dv := fc.Barrier(s), dc.Barrier(s)
+				if fv != dv {
+					t.Fatalf("P=%d step %d: engines disagree inside rejection (%v vs %v)", p, step, fv, dv)
+				}
+				fc.Rollback()
+				dc.Rollback()
+				s.Stages[k].Set(i, j, was)
+				noteToggle(fc, k, i, j, !was)
+				noteToggle(dc, k, i, j, !was)
+			default: // toggle a random signal, exact single-bit note
+				k := rng.Intn(s.NumStages())
+				i, j := rng.Intn(p), rng.Intn(p)
+				if i == j {
+					continue
+				}
+				was := s.Stages[k].At(i, j)
+				s.Stages[k].Set(i, j, !was)
+				noteToggle(fc, k, i, j, was)
+				noteToggle(dc, k, i, j, was)
+			}
+			fv, dv := fc.Barrier(s), dc.Barrier(s)
+			if fv != dv {
+				t.Fatalf("P=%d step %d: frontier verdict %v, dense %v\n%s", p, step, fv, dv, s)
+			}
+			if p <= 13 {
+				if want := s.IsBarrier(); fv != want {
+					t.Fatalf("P=%d step %d: cached verdict %v, from scratch %v\n%s", p, step, fv, want, s)
+				}
+			}
+			if step%41 == 0 && s.NumStages() > 0 {
+				k := rng.Intn(s.NumStages())
+				got, want := fc.After(s, k), dc.After(s, k)
+				if !got.Equal(want) && !(got.AllSet() && want.AllSet()) {
+					t.Fatalf("P=%d step %d: knowledge after stage %d diverges between engines", p, step, k)
+				}
+			}
+		}
+	}
+}
+
+func noteToggle(c KnowledgeCache, k, i, j int, was bool) {
+	if was {
+		c.NoteClear(k, i, j)
+	} else {
+		c.NoteSet(k, i, j)
+	}
+}
+
+// TestFrontierCacheDeadWaveThenStaleSuffix mirrors the dense engine's
+// regression pin on the frontier engine.
+func TestFrontierCacheDeadWaveThenStaleSuffix(t *testing.T) {
+	s := New("regress", 4)
+	st0 := mat.NewBool(4)
+	st0.Set(0, 1, true)
+	s.AddStage(st0)
+	st1 := mat.NewBool(4)
+	st1.Set(0, 1, true)
+	s.AddStage(st1)
+	c := NewFrontierKnowledgeCache(4)
+	if c.Barrier(s) {
+		t.Fatalf("two-signal schedule cannot synchronise four ranks")
+	}
+	full := mat.NewBool(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				full.Set(i, j, true)
+			}
+		}
+	}
+	s.AddStage(full)
+	c.Invalidate(2)
+	s.Stages[1].Set(0, 1, false)
+	c.NoteClear(1, 0, 1)
+	if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+		t.Fatalf("cached verdict %v, from scratch %v", got, want)
+	}
+}
+
+// TestFrontierCacheRollbackPreservesUnreplayedNotes drives the frontier
+// engine through the search engine's evaluated-rejection protocol.
+func TestFrontierCacheRollbackPreservesUnreplayedNotes(t *testing.T) {
+	s := Dissemination(8)
+	c := NewFrontierKnowledgeCache(8)
+	if !c.Barrier(s) {
+		t.Fatalf("dissemination(8) must synchronise")
+	}
+	s.Stages[1].Set(0, 2, false)
+	c.NoteClear(1, 0, 2)
+	s.Stages[2].Set(1, 5, false)
+	c.NoteClear(2, 1, 5)
+	c.Barrier(s)
+	c.Rollback()
+	s.Stages[2].Set(1, 5, true)
+	c.NoteSet(2, 1, 5)
+	if got, want := c.Barrier(s), s.IsBarrier(); got != want {
+		t.Fatalf("cached verdict %v, from scratch %v", got, want)
+	}
+	want := s.Knowledge()
+	for k := range want {
+		got := c.After(s, k)
+		if !got.Equal(want[k]) && !got.AllSet() {
+			t.Fatalf("knowledge after stage %d diverges", k)
+		}
+		if got.AllSet() && !want[k].AllSet() {
+			t.Fatalf("premature saturation at stage %d", k)
+		}
+	}
+}
+
+func TestFrontierCacheRejectsWrongRankCount(t *testing.T) {
+	c := NewFrontierKnowledgeCache(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("rank-count mismatch accepted")
+		}
+	}()
+	c.Barrier(Tree(5))
+}
+
+// TestKnowledgeCacheEngineSelection pins the constructor's dispatch: dense
+// below the frontier threshold, frontier at or above it.
+func TestKnowledgeCacheEngineSelection(t *testing.T) {
+	if _, ok := NewKnowledgeCache(frontierMinP - 1).(*DenseKnowledgeCache); !ok {
+		t.Fatalf("P=%d should select the dense engine", frontierMinP-1)
+	}
+	if _, ok := NewKnowledgeCache(frontierMinP).(*FrontierKnowledgeCache); !ok {
+		t.Fatalf("P=%d should select the frontier engine", frontierMinP)
+	}
+}
+
+// TestKnowledgeCacheJournalCompaction pins the commit-time journal caps on
+// both engines: a journal left at a pathological high-water capacity must be
+// reallocated small at the next Barrier's journal open, and the frontier
+// engine must additionally drop the row pointers its refs held so rejected
+// candidates' rows become collectable — the memory bound a multi-hour anneal
+// depends on.
+func TestKnowledgeCacheJournalCompaction(t *testing.T) {
+	p := 64
+	s := Dissemination(p)
+
+	toggle := func(c KnowledgeCache) {
+		was := s.Stages[0].At(0, 1)
+		s.Stages[0].Set(0, 1, !was)
+		noteToggle(c, 0, 0, 1, was)
+		c.Barrier(s)
+	}
+
+	dc := NewDenseKnowledgeCache(p)
+	dc.Barrier(s)
+	// Simulate a pathological mutation's high-water capacity, then hit a
+	// commit point (the next Barrier's journal open).
+	dc.jArena = make([]uint64, 0, journalRetainWords*2)
+	dc.jRows = make([]journalRef, 0, journalRetainRefs*2)
+	toggle(dc)
+	if got := cap(dc.jArena); got > journalRetainWords {
+		t.Fatalf("dense journal arena retained %d words, cap %d", got, journalRetainWords)
+	}
+	if got := cap(dc.jRows); got > journalRetainRefs {
+		t.Fatalf("dense journal refs retained %d, cap %d", got, journalRetainRefs)
+	}
+
+	s = Dissemination(p)
+	fc := NewFrontierKnowledgeCache(p)
+	fc.Barrier(s)
+	fc.jRefs = make([]frontierJournalRef, 0, journalRetainRefs*2)
+	toggle(fc)
+	if got := cap(fc.jRefs); got > journalRetainRefs {
+		t.Fatalf("frontier journal refs retained %d, cap %d", got, journalRetainRefs)
+	}
+	// A change journals row pointers; the following no-change Barrier is a
+	// commit point that must release them.
+	toggle(fc)
+	fc.Barrier(s)
+	if len(fc.jRefs) != 0 {
+		t.Fatalf("no-change Barrier left %d journal refs", len(fc.jRefs))
+	}
+	for _, ref := range fc.jRefs[:cap(fc.jRefs)] {
+		if ref.old != nil {
+			t.Fatalf("frontier journal retains row pointers after commit")
+		}
+	}
+}

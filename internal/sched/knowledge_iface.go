@@ -1,0 +1,73 @@
+package sched
+
+import "topobarrier/internal/mat"
+
+// KnowledgeCache is the prefix-reusable form of the Eq. 3 recurrence for
+// evaluators that mutate one working schedule in place. Two engines
+// implement it, selected by rank count in NewKnowledgeCache:
+//
+//   - DenseKnowledgeCache keeps row-major knowledge matrices and spreads
+//     changed rows through each stage — optimal while P²/64-word matrices
+//     are cache-resident.
+//   - FrontierKnowledgeCache keeps the transposed (receiver-wise) matrices
+//     as copy-on-write per-rank rows and pushes a dirty-rank frontier wave
+//     through the stages, making a mutation cost proportional to the rows
+//     whose knowledge actually changes rather than to P².
+//
+// Both produce bit-identical verdicts and matrices (boolean OR is
+// order-independent) — the property tests in knowledge_frontier_test.go
+// cross-check them move for move.
+//
+// The cache does not observe the schedule; callers own the contract of
+// reporting every mutation before the next Barrier query — NoteSet/NoteClear
+// for exact single-bit edits, InvalidateRow(k, i) for an arbitrary change to
+// row i of stage k, Invalidate(k) for wholesale edits from stage k on — and
+// of calling Rollback at most once, and before any further mutation notes,
+// to undo the most recent Barrier.
+type KnowledgeCache interface {
+	// NoteSet records that entry (i, j) of stage k's matrix changed from
+	// clear to set. A pending NoteClear of the same entry cancels against
+	// it: the bit is back where the cache last saw it.
+	NoteSet(stage, i, j int)
+	// NoteClear records that entry (i, j) of stage k's matrix changed from
+	// set to clear, cancelling a pending NoteSet of the same entry.
+	NoteClear(stage, i, j int)
+	// InvalidateRow records that row i of stage k's matrix changed in an
+	// unspecified way.
+	InvalidateRow(stage, row int)
+	// Invalidate marks stage k and every later stage wholly stale.
+	Invalidate(stage int)
+	// Barrier reports whether s globally synchronises (Eq. 3), re-running
+	// the recurrence only over rows and stages the recorded changes can
+	// have affected. s must be over the cache's rank count.
+	Barrier(s *Schedule) bool
+	// Rollback restores the cache to its exact state before the most
+	// recent Barrier call, including the pending notes that call consumed.
+	Rollback()
+	// FirstFullStage returns the earliest stage after which every rank
+	// knows about every arrival, or -1 when the schedule never
+	// synchronises.
+	FirstFullStage(s *Schedule) int
+	// After returns the knowledge matrix following stage k, ensuring
+	// stages 0..k are current first. The result may alias cache storage
+	// and is only valid until the next Invalidate/Barrier call; clone to
+	// keep. Stages past the saturation point carry fully-set knowledge.
+	After(s *Schedule, k int) *mat.Bool
+}
+
+// frontierMinP is the rank count at which NewKnowledgeCache switches from
+// the dense row-major engine to the frontier engine. Below it the dense
+// matrices fit in cache and the row-spread kernel's simplicity wins; above
+// it the O(P²)-per-mutation wall of full-matrix passes dominates.
+const frontierMinP = 64
+
+// NewKnowledgeCache returns an empty cache for p-rank schedules, choosing
+// the engine by rank count: dense row-major below frontierMinP, the
+// copy-on-write frontier engine at or above it. The two are observably
+// identical except for speed and memory shape.
+func NewKnowledgeCache(p int) KnowledgeCache {
+	if p >= frontierMinP {
+		return NewFrontierKnowledgeCache(p)
+	}
+	return NewDenseKnowledgeCache(p)
+}

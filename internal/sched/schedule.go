@@ -96,8 +96,14 @@ func (s *Schedule) Knowledge() []*mat.Bool {
 }
 
 // IsBarrier reports whether the signal pattern globally synchronises: every
-// element of the final knowledge matrix must be non-zero (Eq. 3).
+// element of the final knowledge matrix must be non-zero (Eq. 3). At or
+// above the frontier threshold the verdict comes from the receiver-wise
+// sparse closure — bit-identical to the dense recurrence (the frontier
+// property tests pin this) at a fraction of the cost.
 func (s *Schedule) IsBarrier() bool {
+	if s.P >= frontierMinP {
+		return mat.FrontierClosure(s.P, s.Stages)
+	}
 	k := mat.Identity(s.P)
 	for _, st := range s.Stages {
 		k = mat.Propagate(k, st)

@@ -1,0 +1,179 @@
+package search
+
+import (
+	"testing"
+
+	"topobarrier/internal/sched"
+	"topobarrier/internal/stats"
+)
+
+func TestProposerValidation(t *testing.T) {
+	if pr, err := newProposer(8, nil); pr != nil || err != nil {
+		t.Fatalf("no clusters should mean no proposer, got %v, %v", pr, err)
+	}
+	if pr, err := newProposer(8, [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}); pr != nil || err != nil {
+		t.Fatalf("single cluster should disable the bias, got %v, %v", pr, err)
+	}
+	pr, err := newProposer(8, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	if err != nil || pr == nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if len(pr.leaders) != 2 || pr.leaders[0] != 0 || pr.leaders[1] != 4 {
+		t.Fatalf("leaders %v, want [0 4]", pr.leaders)
+	}
+	for _, bad := range [][][]int{
+		{{0, 1}, {}},                  // empty cluster
+		{{0, 1}, {2, 8}},              // rank out of range
+		{{0, 1, 2}, {2, 3, 4, 5, 6}},  // duplicate rank
+		{{0, 1, 2}, {4, 5, 6, 7}},     // rank 3 uncovered
+		{{0, 1, 2, 3}, {4, 5, 6, -1}}, // negative rank
+	} {
+		if _, err := newProposer(8, bad); err == nil {
+			t.Fatalf("invalid clusters %v accepted", bad)
+		}
+	}
+}
+
+// TestProposerDistribution pins the pruned shape: the overwhelming majority
+// of proposals must stay inside one cluster or connect two leaders, with only
+// a thin arbitrary tail keeping the search ergodic.
+func TestProposerDistribution(t *testing.T) {
+	p := 32
+	clusters := [][]int{}
+	for c := 0; c < 4; c++ {
+		cl := []int{}
+		for r := 0; r < 8; r++ {
+			cl = append(cl, c*8+r)
+		}
+		clusters = append(clusters, cl)
+	}
+	pr, err := newProposer(p, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isLeader := func(r int) bool { return r%8 == 0 }
+	rng := stats.NewRNG(99)
+	const draws = 20000
+	intra, leader, other := 0, 0, 0
+	for n := 0; n < draws; n++ {
+		i, j := pr.drawPair(rng, p)
+		switch {
+		case i/8 == j/8:
+			intra++
+		case isLeader(i) && isLeader(j):
+			leader++
+		default:
+			other++
+		}
+	}
+	// Nominal shares are 70/25/5; leader pairs inside one cluster count as
+	// intra above, and arbitrary draws land anywhere, so assert loose bands.
+	if intra < draws*55/100 {
+		t.Fatalf("only %d/%d intra-cluster proposals", intra, draws)
+	}
+	if leader < draws*10/100 {
+		t.Fatalf("only %d/%d leader-to-leader proposals", leader, draws)
+	}
+	if other == 0 {
+		t.Fatalf("no arbitrary proposals — the search lost ergodicity")
+	}
+	if other > draws*10/100 {
+		t.Fatalf("%d/%d proposals escaped the pruned space", other, draws)
+	}
+}
+
+func TestAnnealRejectsInvalidClusters(t *testing.T) {
+	pd := clusteredPredictor(t, 12)
+	opts := AnnealOptions{Seed: 1, Steps: 10, Clusters: [][]int{{0, 1, 2}, {3, 4, 5}}}
+	if _, err := Anneal(pd, sched.Tree(12), opts); err == nil {
+		t.Fatalf("partition covering 6 of 12 ranks accepted")
+	}
+}
+
+// TestAnnealClusterPrunedWorkerIndependence is the determinism pin for the
+// large-P configuration: cluster-pruned proposals plus batched evaluation
+// must produce bit-identical results at any worker count.
+func TestAnnealClusterPrunedWorkerIndependence(t *testing.T) {
+	p := 16
+	pd := clusteredPredictor(t, p)
+	seed := sched.Tree(p)
+	clusters := [][]int{}
+	for c := 0; c < 4; c++ {
+		clusters = append(clusters, []int{c * 4, c*4 + 1, c*4 + 2, c*4 + 3})
+	}
+	var ref *Result
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Anneal(pd, seed, AnnealOptions{
+			Seed: 21, Steps: 1200, Restarts: 3, Workers: workers,
+			Clusters: clusters, BatchSize: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.IsBarrier() {
+			t.Fatalf("workers=%d: result not a barrier", workers)
+		}
+		if res.Cost > pd.Cost(seed) {
+			t.Fatalf("workers=%d: worse than seed (%g vs %g)", workers, res.Cost, pd.Cost(seed))
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Cost != ref.Cost || res.Examined != ref.Examined || !res.Schedule.Equal(ref.Schedule) {
+			t.Fatalf("workers=%d diverged from workers=1: cost %g vs %g, examined %d vs %d",
+				workers, res.Cost, ref.Cost, res.Examined, ref.Examined)
+		}
+	}
+}
+
+// TestAnnealDenseKnowledgeAblationIdentical pins that the ablation knob
+// changes only the knowledge engine, never the outcome: the sparse frontier
+// engine is bit-identical to the dense recurrence, so the whole search —
+// every verdict, every accept, every hash — must replay exactly.
+func TestAnnealDenseKnowledgeAblationIdentical(t *testing.T) {
+	p := 64 // at/above the frontier threshold, so the knob actually switches
+	pd := clusteredPredictor(t, p)
+	seed := sched.Tree(p)
+	base := AnnealOptions{Seed: 9, Steps: 300, Restarts: 2}
+	fast, err := Anneal(pd, seed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.DenseKnowledge = true
+	dense, err := Anneal(pd, seed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cost != dense.Cost || fast.Examined != dense.Examined || !fast.Schedule.Equal(dense.Schedule) {
+		t.Fatalf("frontier and dense engines diverged: cost %g vs %g, examined %d vs %d",
+			fast.Cost, dense.Cost, fast.Examined, dense.Examined)
+	}
+}
+
+// TestZobristLazyDeterministic pins the on-demand key scheme above the table
+// budget: no table is materialised, and hashing stays a pure function of the
+// schedule.
+func TestZobristLazyDeterministic(t *testing.T) {
+	p, maxStages := 512, 20 // 5.2M slots, past the 4.2M budget
+	if maxStages*p*p <= zobristTableBudget {
+		t.Fatalf("test sizes no longer exceed the table budget")
+	}
+	za, zb := newZobrist(p, maxStages), newZobrist(p, maxStages)
+	if za.keys != nil {
+		t.Fatalf("large-P zobrist materialised %d keys", len(za.keys))
+	}
+	s := sched.Dissemination(p)
+	if za.hashOf(s) != zb.hashOf(s) {
+		t.Fatalf("lazy zobrist hash is not reproducible")
+	}
+	h := za.hashOf(s)
+	s.Stages[0].Set(0, 2, true)
+	if za.hashOf(s) == h {
+		t.Fatalf("lazy zobrist hash ignored a signal change")
+	}
+	// Small P stays on the historical table scheme.
+	if zs := newZobrist(8, 6); zs.keys == nil {
+		t.Fatalf("small-P zobrist lost its key table")
+	}
+}

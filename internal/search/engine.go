@@ -40,24 +40,34 @@ type mutation struct {
 // zobrist holds the random toggle keys of the schedule hash: one 64-bit key
 // per (stage, from, to) signal slot plus one per possible stage count, so
 // schedules differing only in trailing empty stages — which price differently
-// under a per-stage overhead — hash apart. The table is derived from a fixed
+// under a per-stage overhead — hash apart. Keys are derived from a fixed
 // seed, shared read-only by all restarts, and independent of the search seed
 // so identical schedules hash identically across runs.
 type zobrist struct {
 	p, maxStages int
-	keys         []uint64 // maxStages·p·p toggle keys
+	keys         []uint64 // maxStages·p·p toggle keys; nil above the budget
 	stageCount   []uint64 // maxStages+1 stage-count keys
 }
+
+// zobristTableBudget bounds the materialised key table. Below it the keys are
+// precomputed exactly as they always were (bit-compatible hashes). Above it —
+// large P, where maxStages·P² keys would cost hundreds of megabytes per
+// portfolio — each key is derived on demand from its slot index by a
+// SplitMix64 finaliser. Both schemes are fixed pure functions of
+// (stage, from, to), so hashing stays deterministic across runs and workers.
+const zobristTableBudget = 1 << 22
 
 func newZobrist(p, maxStages int) *zobrist {
 	rng := stats.NewRNG(0x746f706f62617272) // "topobarr", fixed
 	z := &zobrist{
 		p: p, maxStages: maxStages,
-		keys:       make([]uint64, maxStages*p*p),
 		stageCount: make([]uint64, maxStages+1),
 	}
-	for i := range z.keys {
-		z.keys[i] = rng.Uint64()
+	if n := maxStages * p * p; n <= zobristTableBudget {
+		z.keys = make([]uint64, n)
+		for i := range z.keys {
+			z.keys[i] = rng.Uint64()
+		}
 	}
 	for i := range z.stageCount {
 		z.stageCount[i] = rng.Uint64()
@@ -66,7 +76,22 @@ func newZobrist(p, maxStages int) *zobrist {
 }
 
 func (z *zobrist) key(k, i, j int) uint64 {
-	return z.keys[(k*z.p+i)*z.p+j]
+	idx := (k*z.p+i)*z.p + j
+	if z.keys != nil {
+		return z.keys[idx]
+	}
+	return splitmix64(0x746f706f62617272 + uint64(idx)*0x9e3779b97f4a7c15)
+}
+
+// splitmix64 is the SplitMix64 output finaliser — a fixed 64-bit bijection
+// with full avalanche, which is all a Zobrist key needs.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // hashOf computes a schedule's hash from scratch (adoption and seeding; the
@@ -100,15 +125,19 @@ type climber struct {
 	z         *zobrist
 	rng       *stats.RNG
 	s         *sched.Schedule
-	kc        *sched.KnowledgeCache
+	kc        sched.KnowledgeCache
 	ev        *predict.Evaluator
 	hash      uint64
 	cost      float64
 	table     map[uint64]float64 // hash -> cost, +Inf for non-barriers
 	maxStages int
-	examined  int
-	ttHits    int // candidates answered from the transposition table
-	accepts   int // mutations kept (cost did not worsen)
+	// prop, when non-nil, biases endpoint proposals by cluster structure.
+	prop *proposer
+	// batch above 1 turns each move into a best-of-batch selection.
+	batch    int
+	examined int
+	ttHits   int // candidates answered from the transposition table
+	accepts  int // mutations kept (cost did not worsen)
 	// best tracks the cheapest state seen during the climb — not just the
 	// end-of-restart state — so a plateau walk can never discard it.
 	best     *sched.Schedule
@@ -117,24 +146,43 @@ type climber struct {
 	spare *mat.Bool
 }
 
-func newClimber(pd *predict.Predictor, z *zobrist, seedSched *sched.Schedule, seedCost float64, rng *stats.RNG, maxStages int) *climber {
+func newClimber(pd *predict.Predictor, z *zobrist, seedSched *sched.Schedule, seedCost float64, rng *stats.RNG, maxStages int, prop *proposer, batch int, denseKnowledge bool) *climber {
 	s := seedSched.Clone()
 	h := z.hashOf(s)
-	return &climber{
+	kc := sched.KnowledgeCache(nil)
+	if denseKnowledge {
+		kc = sched.NewDenseKnowledgeCache(s.P)
+	} else {
+		kc = sched.NewKnowledgeCache(s.P)
+	}
+	c := &climber{
 		pd: pd, z: z, rng: rng, s: s,
-		kc:        sched.NewKnowledgeCache(s.P),
+		kc:        kc,
 		ev:        predict.NewEvaluator(pd),
 		hash:      h,
 		cost:      seedCost,
 		table:     map[uint64]float64{h: seedCost},
 		maxStages: maxStages,
+		prop:      prop,
+		batch:     batch,
 		best:      seedSched.Clone(),
 		bestCost:  seedCost,
 	}
+	return c
 }
 
 // run advances the climb by the given number of mutation attempts.
 func (c *climber) run(steps int) {
+	if c.batch > 1 {
+		for n := 0; n < steps; n += c.batch {
+			b := c.batch
+			if steps-n < b {
+				b = steps - n
+			}
+			c.stepBatch(b)
+		}
+		return
+	}
 	for n := 0; n < steps; n++ {
 		c.step()
 	}
@@ -172,6 +220,55 @@ func (c *climber) step() {
 	}
 }
 
+// stepBatch draws up to b candidate mutations against the same base state,
+// scores each through the usual apply→score→undo delta protocol, then
+// re-applies the cheapest if it does not predict slower — a best-of-b move
+// selection that sharpens every accepted step, which is what makes cheap
+// cluster-pruned proposals at large P pay off. Every candidate is undone
+// before the next is drawn, so all b draws see the identical base schedule.
+// The winning re-apply needs no fresh Barrier: its change notes stay armed in
+// the knowledge cache, exactly as for transposition-answered accepts, and the
+// next evaluated candidate replays them.
+func (c *climber) stepBatch(b int) {
+	var bestM mutation
+	bestCost := math.Inf(1)
+	found := false
+	for n := 0; n < b; n++ {
+		m, ok := c.draw()
+		if !ok {
+			continue
+		}
+		c.apply(m)
+		c.examined++
+		cost, hit := c.table[c.hash]
+		if hit {
+			c.ttHits++
+		} else {
+			if c.kc.Barrier(c.s) {
+				cost = c.ev.Cost(c.s)
+			} else {
+				cost = math.Inf(1)
+			}
+			if len(c.table) < transpositionCap {
+				c.table[c.hash] = cost
+			}
+		}
+		if !found || cost < bestCost {
+			found, bestM, bestCost = true, m, cost
+		}
+		c.undo(m, !hit)
+	}
+	if found && bestCost <= c.cost {
+		c.apply(bestM)
+		c.accepts++
+		c.cost = bestCost
+		if bestCost < c.bestCost {
+			c.bestCost = bestCost
+			c.best = c.s.Clone()
+		}
+	}
+}
+
 // draw picks the next mutation, mirroring the seed implementation's move
 // distribution. ok is false when the drawn move does not apply.
 func (c *climber) draw() (mutation, bool) {
@@ -191,7 +288,7 @@ func (c *climber) draw() (mutation, bool) {
 		return mutation{kind: mutRemove, k: k, i: i, j: j}, true
 	case 1: // add a random signal
 		k := c.rng.Intn(stages)
-		i, j := c.rng.Intn(p), c.rng.Intn(p)
+		i, j := c.drawEndpoints(p)
 		if i == j || c.s.Stages[k].At(i, j) {
 			return mutation{}, false
 		}
@@ -212,12 +309,21 @@ func (c *climber) draw() (mutation, bool) {
 		if stages >= c.maxStages {
 			return mutation{}, false
 		}
-		i, j := c.rng.Intn(p), c.rng.Intn(p)
+		i, j := c.drawEndpoints(p)
 		if i == j {
 			return mutation{}, false
 		}
 		return mutation{kind: mutAppend, k: stages, i: i, j: j}, true
 	}
+}
+
+// drawEndpoints proposes a signal pair — cluster-pruned when a proposer is
+// configured, uniform otherwise.
+func (c *climber) drawEndpoints(p int) (int, int) {
+	if c.prop != nil {
+		return c.prop.drawPair(c.rng, p)
+	}
+	return c.rng.Intn(p), c.rng.Intn(p)
 }
 
 // pickSignal returns a uniformly drawn set column of row i in stage k.

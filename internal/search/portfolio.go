@@ -202,7 +202,7 @@ func runPortfolio(climbers []*climber, opts AnnealOptions) {
 }
 
 // newPortfolio seeds one climber per restart with its own SplitMix64 stream.
-func newPortfolio(pd *predict.Predictor, seedSched *sched.Schedule, seedCost float64, opts AnnealOptions) []*climber {
+func newPortfolio(pd *predict.Predictor, seedSched *sched.Schedule, seedCost float64, opts AnnealOptions, prop *proposer) []*climber {
 	maxStages := opts.MaxStages
 	if seedSched.NumStages() > maxStages {
 		maxStages = seedSched.NumStages()
@@ -211,7 +211,7 @@ func newPortfolio(pd *predict.Predictor, seedSched *sched.Schedule, seedCost flo
 	climbers := make([]*climber, opts.Restarts)
 	for r := range climbers {
 		rng := stats.NewRNG(opts.Seed + uint64(r)*0x9e3779b97f4a7c15)
-		climbers[r] = newClimber(pd, z, seedSched, seedCost, rng, maxStages)
+		climbers[r] = newClimber(pd, z, seedSched, seedCost, rng, maxStages, prop, opts.BatchSize, opts.DenseKnowledge)
 	}
 	return climbers
 }

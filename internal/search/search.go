@@ -117,6 +117,26 @@ type AnnealOptions struct {
 	// cross-restart elite exchanges (default 500). Exchanges happen at
 	// synchronisation barriers, so changing Workers never changes them.
 	ExchangeEvery int
+	// Clusters, when it holds at least two entries, prunes the mutation
+	// space by locality structure: each entry lists the ranks of one cluster
+	// (its first rank acting as leader), and together the entries must
+	// partition 0..P-1. Signal endpoints for add/append proposals are then
+	// drawn mostly intra-cluster, sometimes leader-to-leader, and only
+	// rarely from the full P² space — the shape good hierarchical schedules
+	// take, and the difference between a step budget that explores and one
+	// that drowns at large P. Invalid partitions make Anneal return an
+	// error. Determinism per Seed is preserved for any Workers.
+	Clusters [][]int
+	// BatchSize, when above 1, evaluates mutations in best-of-BatchSize
+	// batches inside each climber: all candidates of a batch are scored
+	// against the same base state and only the cheapest is kept (when it
+	// does not predict slower). Batches draw from the climber's own RNG
+	// stream, so the result stays independent of Workers.
+	BatchSize int
+	// DenseKnowledge forces the dense Eq. 3 knowledge engine regardless of
+	// P. It exists for benchmarks and ablations; the sparse frontier engine
+	// is bit-identical and strictly faster at large P.
+	DenseKnowledge bool
 	// Progress, when non-nil, is called from the coordinating goroutine
 	// after every exchange round.
 	Progress func(Progress)
@@ -174,9 +194,13 @@ func Anneal(pd *predict.Predictor, seedSched *sched.Schedule, opts AnnealOptions
 		return nil, fmt.Errorf("search: seed over %d ranks vs %d-rank profile", seedSched.P, pd.Prof.P)
 	}
 	opts = opts.withDefaults(seedSched)
+	prop, err := newProposer(seedSched.P, opts.Clusters)
+	if err != nil {
+		return nil, err
+	}
 
 	seedCost := pd.Cost(seedSched)
-	climbers := newPortfolio(pd, seedSched, seedCost, opts)
+	climbers := newPortfolio(pd, seedSched, seedCost, opts, prop)
 	runPortfolio(climbers, opts)
 
 	best := &Result{Schedule: seedSched.Clone(), Cost: seedCost}
